@@ -1,0 +1,34 @@
+//! Near-term quantum algorithms — the paper's benchmark workloads.
+//!
+//! * [`pauli`] — Pauli-string operator algebra, measurement-basis circuits
+//!   and `exp(−iθP)` rotations (whose two-local core is the ZZ interaction
+//!   the paper's compiler optimizes).
+//! * [`molecules`] — the Fig. 12 molecular Hamiltonians: the published H₂
+//!   two-qubit reduction plus documented LiH/CH₄/H₂O surrogates.
+//! * [`vqe`] — variational eigensolver with the UCC-style ansatz.
+//! * [`qaoa`] — QAOA-MAXCUT on line graphs.
+//! * [`trotter`] — Trotterized Hamiltonian dynamics (6-step benchmarks).
+//! * [`qutrit`] — the §7 base-3 counter: qutrit pulses via
+//!   frequency-shifted drives.
+//!
+//! ```
+//! use quant_algos::{molecules, vqe};
+//!
+//! let h2 = molecules::h2().hamiltonian;
+//! let solved = vqe::solve(&h2);
+//! assert!((solved.energy - h2.ground_energy()).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod molecules;
+pub mod pauli;
+pub mod qaoa;
+pub mod qutrit;
+pub mod trotter;
+pub mod vqe;
+
+pub use molecules::Molecule;
+pub use pauli::{group_commuting, qubit_wise_commuting, MeasurementGroup, Pauli, PauliString, PauliSum};
+pub use qaoa::LineGraph;
+pub use qutrit::{calibrate_qutrit, counter_schedule, QutritPulses};

@@ -1,0 +1,544 @@
+//! Pauli-string operator algebra.
+//!
+//! Near-term algorithm Hamiltonians are sums of Pauli strings. This module
+//! provides the string/sum types, their matrices, expectation values, and
+//! the circuit constructions every benchmark in the paper is built from:
+//! basis-change circuits for measuring a string, and the exponential
+//! `exp(−iθP)` rotation (which for two-local strings reduces to a dressed
+//! ZZ interaction — the operation the paper's Optimization 3 accelerates).
+
+use quant_circuit::{Circuit, Gate};
+use quant_math::{C64, CMat};
+use quant_sim::{embed, gates, StateVector};
+use std::fmt;
+
+/// A single-qubit Pauli factor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+impl Pauli {
+    /// The 2×2 matrix.
+    pub fn matrix(&self) -> CMat {
+        match self {
+            Pauli::I => CMat::identity(2),
+            Pauli::X => gates::x(),
+            Pauli::Y => gates::y(),
+            Pauli::Z => gates::z(),
+        }
+    }
+}
+
+/// A weighted Pauli string on `n` qubits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PauliString {
+    /// Real coefficient.
+    pub coeff: f64,
+    /// One factor per qubit (qubit 0 first).
+    pub ops: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Builds a string from a compact spec like `"ZZI"` (qubit 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters outside `IXYZ`.
+    pub fn parse(coeff: f64, spec: &str) -> Self {
+        let ops = spec
+            .chars()
+            .map(|ch| match ch {
+                'I' => Pauli::I,
+                'X' => Pauli::X,
+                'Y' => Pauli::Y,
+                'Z' => Pauli::Z,
+                other => panic!("invalid Pauli character '{other}'"),
+            })
+            .collect();
+        PauliString { coeff, ops }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Indices of non-identity factors.
+    pub fn support(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p != Pauli::I)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The full 2ⁿ×2ⁿ matrix including the coefficient.
+    pub fn matrix(&self) -> CMat {
+        let n = self.num_qubits();
+        let dims = vec![2usize; n];
+        let mut full = CMat::identity(1 << n);
+        for (q, p) in self.ops.iter().enumerate() {
+            if *p != Pauli::I {
+                full = &embed(&p.matrix(), &[q], &dims) * &full;
+            }
+        }
+        full.scale(C64::real(self.coeff))
+    }
+
+    /// ⟨ψ|c·P|ψ⟩.
+    pub fn expectation(&self, psi: &StateVector) -> f64 {
+        let mut rotated = psi.clone();
+        self.append_basis_change(&mut rotated);
+        // In the rotated frame the string is a Z-string: expectation from
+        // populations with parity signs.
+        let probs = rotated.probabilities();
+        let support = self.support();
+        let mut total = 0.0;
+        for (idx, &p) in probs.iter().enumerate() {
+            let parity = support
+                .iter()
+                .filter(|&&q| (idx >> q) & 1 == 1)
+                .count();
+            total += if parity % 2 == 0 { p } else { -p };
+        }
+        self.coeff * total
+    }
+
+    /// Applies the basis change mapping this string to a Z-string, in
+    /// place on a state (H for X, Rx(π/2)-style for Y).
+    fn append_basis_change(&self, psi: &mut StateVector) {
+        for (q, p) in self.ops.iter().enumerate() {
+            match p {
+                Pauli::X => psi.apply_unitary(&gates::h(), &[q]),
+                Pauli::Y => {
+                    // Rotate Y → Z: apply Sdg then H.
+                    psi.apply_unitary(&gates::sdg(), &[q]);
+                    psi.apply_unitary(&gates::h(), &[q]);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Appends to `circuit` the basis-change gates that map this string to
+    /// a Z-string (used before a computational-basis measurement).
+    pub fn append_measurement_basis(&self, circuit: &mut Circuit) {
+        for (q, p) in self.ops.iter().enumerate() {
+            match p {
+                Pauli::X => {
+                    circuit.h(q as u32);
+                }
+                Pauli::Y => {
+                    circuit.push(Gate::Sdg, &[q as u32]);
+                    circuit.h(q as u32);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Expectation of the (Z-rotated) string from a measured distribution
+    /// over basis states — the post-basis-change readout path used with
+    /// hardware counts.
+    pub fn expectation_from_distribution(&self, probs: &[f64]) -> f64 {
+        let support = self.support();
+        let mut total = 0.0;
+        for (idx, &p) in probs.iter().enumerate() {
+            let parity = support.iter().filter(|&&q| (idx >> q) & 1 == 1).count();
+            total += if parity % 2 == 0 { p } else { -p };
+        }
+        self.coeff * total
+    }
+
+    /// Appends `exp(−iθ·P)` (for the *unweighted* string `P`) to a
+    /// circuit.
+    ///
+    /// Two-local strings use the ZZ-interaction core the paper optimizes;
+    /// longer strings use a CNOT parity ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the identity string.
+    pub fn append_rotation(&self, circuit: &mut Circuit, theta: f64) {
+        let support = self.support();
+        assert!(!support.is_empty(), "cannot rotate by the identity string");
+        // Basis changes into Z-land.
+        self.append_measurement_basis(circuit);
+        match support.as_slice() {
+            [q] => {
+                circuit.rz(*q as u32, 2.0 * theta);
+            }
+            [a, b] => {
+                // exp(−iθ Z⊗Z) = Zz(2θ).
+                circuit.zz(*a as u32, *b as u32, 2.0 * theta);
+            }
+            many => {
+                // Parity ladder.
+                let last = *many.last().unwrap() as u32;
+                for w in many.windows(2) {
+                    circuit.cnot(w[0] as u32, w[1] as u32);
+                }
+                circuit.rz(last, 2.0 * theta);
+                for w in many.windows(2).rev() {
+                    circuit.cnot(w[0] as u32, w[1] as u32);
+                }
+            }
+        }
+        // Undo basis changes.
+        self.append_inverse_basis(circuit);
+    }
+
+    fn append_inverse_basis(&self, circuit: &mut Circuit) {
+        for (q, p) in self.ops.iter().enumerate() {
+            match p {
+                Pauli::X => {
+                    circuit.h(q as u32);
+                }
+                Pauli::Y => {
+                    circuit.h(q as u32);
+                    circuit.push(Gate::S, &[q as u32]);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.6}·", self.coeff)?;
+        for p in &self.ops {
+            let ch = match p {
+                Pauli::I => 'I',
+                Pauli::X => 'X',
+                Pauli::Y => 'Y',
+                Pauli::Z => 'Z',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A sum of Pauli strings (a qubit Hamiltonian).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PauliSum {
+    terms: Vec<PauliString>,
+}
+
+impl PauliSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        PauliSum::default()
+    }
+
+    /// Builds from `(coeff, spec)` pairs.
+    pub fn from_terms(terms: &[(f64, &str)]) -> Self {
+        let parsed: Vec<PauliString> = terms
+            .iter()
+            .map(|&(c, s)| PauliString::parse(c, s))
+            .collect();
+        if let Some(first) = parsed.first() {
+            assert!(
+                parsed.iter().all(|t| t.num_qubits() == first.num_qubits()),
+                "all terms must act on the same register"
+            );
+        }
+        PauliSum { terms: parsed }
+    }
+
+    /// The terms.
+    pub fn terms(&self) -> &[PauliString] {
+        &self.terms
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.terms.first().map_or(0, |t| t.num_qubits())
+    }
+
+    /// Adds a term.
+    pub fn push(&mut self, term: PauliString) {
+        if let Some(first) = self.terms.first() {
+            assert_eq!(first.num_qubits(), term.num_qubits());
+        }
+        self.terms.push(term);
+    }
+
+    /// The full Hamiltonian matrix.
+    pub fn matrix(&self) -> CMat {
+        let n = self.num_qubits();
+        let mut h = CMat::zeros(1 << n, 1 << n);
+        for t in &self.terms {
+            h = &h + &t.matrix();
+        }
+        h
+    }
+
+    /// ⟨ψ|H|ψ⟩.
+    pub fn expectation(&self, psi: &StateVector) -> f64 {
+        self.terms.iter().map(|t| t.expectation(psi)).sum()
+    }
+
+    /// The exact ground-state energy (smallest eigenvalue).
+    pub fn ground_energy(&self) -> f64 {
+        let eig = quant_math::eigh(&self.matrix());
+        eig.values[0]
+    }
+}
+
+impl fmt::Display for PauliSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Whether two strings are *qubit-wise commuting*: on every qubit the
+/// factors are equal or at least one is the identity. QWC groups share a
+/// single measurement basis, so a VQE energy needs one circuit per group
+/// instead of one per term.
+pub fn qubit_wise_commuting(a: &PauliString, b: &PauliString) -> bool {
+    assert_eq!(a.num_qubits(), b.num_qubits());
+    a.ops
+        .iter()
+        .zip(&b.ops)
+        .all(|(x, y)| *x == Pauli::I || *y == Pauli::I || x == y)
+}
+
+/// A group of qubit-wise-commuting strings plus the shared basis (the
+/// non-identity factor on each qubit).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasurementGroup {
+    /// The member terms.
+    pub terms: Vec<PauliString>,
+    /// The merged basis string (identity where no member acts).
+    pub basis: PauliString,
+}
+
+impl MeasurementGroup {
+    /// Appends the group's shared basis-change gates to a circuit.
+    pub fn append_measurement_basis(&self, circuit: &mut Circuit) {
+        self.basis.append_measurement_basis(circuit);
+    }
+
+    /// Sums the members' expectations from one measured distribution taken
+    /// in the group's basis.
+    pub fn expectation_from_distribution(&self, probs: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| t.expectation_from_distribution(probs))
+            .sum()
+    }
+}
+
+/// Greedily partitions a Hamiltonian's non-identity terms into
+/// qubit-wise-commuting measurement groups (first-fit).
+pub fn group_commuting(hamiltonian: &PauliSum) -> Vec<MeasurementGroup> {
+    let mut groups: Vec<MeasurementGroup> = Vec::new();
+    'terms: for term in hamiltonian.terms() {
+        if term.support().is_empty() {
+            continue;
+        }
+        for group in &mut groups {
+            if group
+                .terms
+                .iter()
+                .all(|member| qubit_wise_commuting(member, term))
+            {
+                // Merge the term's factors into the group's basis.
+                for (slot, p) in group.basis.ops.iter_mut().zip(&term.ops) {
+                    if *slot == Pauli::I {
+                        *slot = *p;
+                    }
+                }
+                group.terms.push(term.clone());
+                continue 'terms;
+            }
+        }
+        groups.push(MeasurementGroup {
+            terms: vec![term.clone()],
+            basis: PauliString {
+                coeff: 1.0,
+                ops: term.ops.clone(),
+            },
+        });
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let p = PauliString::parse(0.5, "XZI");
+        assert_eq!(p.support(), vec![0, 1]);
+        assert_eq!(p.to_string(), "+0.500000·XZI");
+    }
+
+    #[test]
+    fn matrix_of_zz() {
+        let p = PauliString::parse(1.0, "ZZ");
+        let expect = gates::z().kron(&gates::z());
+        assert!(p.matrix().max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_z_strings() {
+        let mut psi = StateVector::zero_qubits(2);
+        psi.apply_unitary(&gates::x(), &[0]);
+        // |01⟩ (q0=1): ⟨Z0⟩ = −1, ⟨Z1⟩ = +1, ⟨Z0Z1⟩ = −1.
+        assert!((PauliString::parse(1.0, "ZI").expectation(&psi) + 1.0).abs() < 1e-10);
+        assert!((PauliString::parse(1.0, "IZ").expectation(&psi) - 1.0).abs() < 1e-10);
+        assert!((PauliString::parse(2.0, "ZZ").expectation(&psi) + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expectation_of_x_and_y() {
+        let mut psi = StateVector::zero_qubits(1);
+        psi.apply_unitary(&gates::h(), &[0]);
+        assert!((PauliString::parse(1.0, "X").expectation(&psi) - 1.0).abs() < 1e-10);
+        assert!(PauliString::parse(1.0, "Y").expectation(&psi).abs() < 1e-10);
+        // |+i⟩ state.
+        let mut psi = StateVector::zero_qubits(1);
+        psi.apply_unitary(&gates::h(), &[0]);
+        psi.apply_unitary(&gates::s(), &[0]);
+        assert!((PauliString::parse(1.0, "Y").expectation(&psi) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expectation_matches_matrix() {
+        let h = PauliSum::from_terms(&[
+            (0.3, "XZ"),
+            (-0.7, "YY"),
+            (0.2, "ZI"),
+            (0.4, "XX"),
+        ]);
+        let mut psi = StateVector::zero_qubits(2);
+        psi.apply_unitary(&gates::h(), &[0]);
+        psi.apply_unitary(&gates::cnot(), &[0, 1]);
+        psi.apply_unitary(&gates::rz(0.6), &[1]);
+        let via_terms = h.expectation(&psi);
+        let via_matrix = psi.expectation(&h.matrix(), &[0, 1]);
+        assert!((via_terms - via_matrix).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_matches_exponential() {
+        use quant_math::unitary_exp;
+        for spec in ["ZZ", "XX", "XY", "YZ", "XI", "IY"] {
+            let p = PauliString::parse(1.0, spec);
+            let theta = 0.437;
+            let mut c = Circuit::new(2);
+            p.append_rotation(&mut c, theta);
+            let expect = unitary_exp(&p.matrix(), theta);
+            let diff = c.unitary().phase_invariant_diff(&expect);
+            assert!(diff < 1e-9, "{spec}: diff = {diff}");
+        }
+    }
+
+    #[test]
+    fn rotation_three_qubit_ladder() {
+        use quant_math::unitary_exp;
+        let p = PauliString::parse(1.0, "ZXZ");
+        let theta = -0.91;
+        let mut c = Circuit::new(3);
+        p.append_rotation(&mut c, theta);
+        let expect = unitary_exp(&p.matrix(), theta);
+        assert!(c.unitary().phase_invariant_diff(&expect) < 1e-9);
+    }
+
+    #[test]
+    fn ground_energy_of_simple_hamiltonian() {
+        // H = Z: ground energy −1.
+        let h = PauliSum::from_terms(&[(1.0, "Z")]);
+        assert!((h.ground_energy() + 1.0).abs() < 1e-10);
+        // H = X + Z: ground energy −√2.
+        let h = PauliSum::from_terms(&[(1.0, "X"), (1.0, "Z")]);
+        assert!((h.ground_energy() + 2.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qwc_predicate() {
+        let zz = PauliString::parse(1.0, "ZZ");
+        let zi = PauliString::parse(1.0, "ZI");
+        let xx = PauliString::parse(1.0, "XX");
+        let xi = PauliString::parse(1.0, "XI");
+        assert!(qubit_wise_commuting(&zz, &zi));
+        assert!(qubit_wise_commuting(&xx, &xi));
+        assert!(!qubit_wise_commuting(&zz, &xx));
+        assert!(!qubit_wise_commuting(&zi, &xi));
+    }
+
+    #[test]
+    fn grouping_h2_needs_two_circuits() {
+        // H2's {ZI, IZ, ZZ} share the Z basis; {XX} and {YY} are separate
+        // → 3 groups instead of 5 measurement circuits.
+        let h = crate::molecules::h2().hamiltonian;
+        let groups = group_commuting(&h);
+        assert_eq!(groups.len(), 3, "{groups:#?}");
+        let z_group = groups
+            .iter()
+            .find(|g| g.terms.len() == 3)
+            .expect("Z-basis group");
+        assert_eq!(z_group.basis.ops, vec![Pauli::Z, Pauli::Z]);
+    }
+
+    #[test]
+    fn grouped_energy_matches_term_by_term() {
+        let h = crate::molecules::h2().hamiltonian;
+        let mut prep = Circuit::new(2);
+        prep.x(0);
+        PauliString::parse(1.0, "XY").append_rotation(&mut prep, 0.21);
+
+        let identity: f64 = h
+            .terms()
+            .iter()
+            .filter(|t| t.support().is_empty())
+            .map(|t| t.coeff)
+            .sum();
+        // Term-by-term reference (state-vector expectations).
+        let psi = prep.simulate();
+        let reference = h.expectation(&psi);
+        // Grouped path: one measured distribution per group.
+        let mut grouped = identity;
+        for group in group_commuting(&h) {
+            let mut c = prep.clone();
+            group.append_measurement_basis(&mut c);
+            grouped += group.expectation_from_distribution(&c.output_distribution());
+        }
+        assert!(
+            (grouped - reference).abs() < 1e-9,
+            "grouped {grouped} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn measurement_basis_reduces_to_parity() {
+        // Measuring XX on a Bell pair gives +1 deterministically.
+        let mut prep = Circuit::new(2);
+        prep.h(0).cnot(0, 1);
+        let p = PauliString::parse(1.0, "XX");
+        let mut with_basis = prep.clone();
+        p.append_measurement_basis(&mut with_basis);
+        let probs = with_basis.output_distribution();
+        let exp = p.expectation_from_distribution(&probs);
+        assert!((exp - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,296 @@
+//! The base-3 counter (paper §7): qudit control via frequency-shifted
+//! pulses.
+//!
+//! Standard basis gates only address the |0⟩↔|1⟩ subspace because the
+//! local oscillator sits at f01. Shifting the drive frequency by the
+//! anharmonicity α reaches the |1⟩↔|2⟩ transition (f12), and shifting by
+//! α/2 drives the two-photon |0⟩↔|2⟩ transition (f02/2) at higher power —
+//! Eq. 1 of the paper. One counter cycle is three hops:
+//! `|0⟩ → |1⟩ → |2⟩ → |0⟩`.
+
+use quant_device::{Calibration, DeviceModel, DriveState};
+use quant_pulse::{Channel, GaussianSquare, Instruction, Schedule, Waveform};
+
+/// Calibrated pulses for the three qutrit transitions.
+#[derive(Clone, Debug)]
+pub struct QutritPulses {
+    /// π pulse on |0⟩↔|1⟩ (the ordinary calibrated X pulse).
+    pub x01: Waveform,
+    /// π pulse on |1⟩↔|2⟩, played with the LO shifted by `f12_offset`.
+    pub x12: Waveform,
+    /// LO offset for the x12 pulse (Hz; ≈ α).
+    pub f12_offset: f64,
+    /// Two-photon π pulse on |0⟩↔|2⟩, played with the LO shifted by
+    /// `f02_offset`.
+    pub x02: Waveform,
+    /// LO offset for the x02 pulse (Hz; ≈ α/2 plus a Stark correction).
+    pub f02_offset: f64,
+}
+
+/// Calibrates the qutrit transition pulses against the device (a small
+/// spectroscopy + amplitude tune-up, as described in the paper's §7.2).
+pub fn calibrate_qutrit(device: &DeviceModel, cal: &Calibration) -> QutritPulses {
+    let transmon = device.transmon_cal(0);
+    let p = device.qubit(0);
+
+    let x01 = cal.qubit(0).rx180_waveform("x01");
+
+    // --- x12: scaled X pulse at Δf = α --------------------------------
+    // The 1↔2 matrix element is √2 stronger, so start from amp/√2 and
+    // polish. Objective: |⟨2|U|1⟩|².
+    let transfer_12 = |scale: f64, df: f64| -> f64 {
+        let mut state = DriveState {
+            freq_offset: df,
+            ..Default::default()
+        };
+        let u = transmon.integrate_play(&mut state, &x01.scaled(scale));
+        u[(2, 1)].norm_sqr()
+    };
+    let mut best12 = (1.0 / std::f64::consts::SQRT_2, p.alpha, 0.0);
+    for ds in -6..=6 {
+        let scale = (1.0 / std::f64::consts::SQRT_2) * (1.0 + ds as f64 * 0.02);
+        for df_k in -6..=6 {
+            let df = p.alpha + df_k as f64 * 0.4e6;
+            let t = transfer_12(scale, df);
+            if t > best12.2 {
+                best12 = (scale, df, t);
+            }
+        }
+    }
+    let x12 = x01.scaled(best12.0);
+    let f12_offset = best12.1;
+
+    // --- x02: two-photon pulse at Δf ≈ α/2 ------------------------------
+    // Strong constant drive; sweep amplitude, duration and a Stark-shifted
+    // frequency offset. Objective: |⟨2|U|0⟩|².
+    let mk_x02 = |amp: f64, dur: u64| -> Waveform {
+        // Smooth flat-top: abrupt edges splatter spectrally and cap the
+        // two-photon transfer well below 1.
+        GaussianSquare {
+            duration: dur + 120,
+            amp,
+            sigma: 15.0,
+            width: dur,
+        }
+        .waveform("x02")
+    };
+    let transfer_02 = |amp: f64, dur: u64, df: f64| -> f64 {
+        let w = mk_x02(amp, dur);
+        let mut state = DriveState {
+            freq_offset: df,
+            ..Default::default()
+        };
+        let u = transmon.integrate_play(&mut state, &w);
+        u[(2, 0)].norm_sqr()
+    };
+    let mut best02 = (0.4_f64, 480_u64, p.alpha / 2.0, 0.0_f64);
+    for amp_k in 0..8 {
+        let amp = 0.3 + amp_k as f64 * 0.05;
+        for dur_k in 0..8 {
+            let dur = 240 + dur_k * 120;
+            for df_k in -10..=10 {
+                let df = p.alpha / 2.0 + df_k as f64 * 1.0e6;
+                let t = transfer_02(amp, dur, df);
+                if t > best02.3 {
+                    best02 = (amp, dur, df, t);
+                }
+            }
+        }
+    }
+    // Alternating coordinate polish: frequency (the sharpest axis), then
+    // amplitude, then duration, iterated — the two-photon transition is
+    // doubly sensitive to amplitude (rate ∝ amp²), so coarse gridding
+    // alone leaves percent-level infidelity.
+    let (mut amp, mut dur, mut df, mut best_t) = best02;
+    for round in 0..4 {
+        let f_step = 0.4e6 / (1 << round) as f64;
+        for _ in 0..12 {
+            let up = transfer_02(amp, dur, df + f_step);
+            let down = transfer_02(amp, dur, df - f_step);
+            if up > best_t {
+                df += f_step;
+                best_t = up;
+            } else if down > best_t {
+                df -= f_step;
+                best_t = down;
+            } else {
+                break;
+            }
+        }
+        let a_step = 0.02 / (1 << round) as f64;
+        for _ in 0..12 {
+            let up = transfer_02(amp + a_step, dur, df);
+            let down = transfer_02(amp - a_step, dur, df);
+            if up > best_t {
+                amp += a_step;
+                best_t = up;
+            } else if down > best_t && amp > a_step {
+                amp -= a_step;
+                best_t = down;
+            } else {
+                break;
+            }
+        }
+        let d_step = (60 >> round).max(4) as u64;
+        for _ in 0..8 {
+            let up = transfer_02(amp, dur + d_step, df);
+            let down = if dur > d_step + 60 {
+                transfer_02(amp, dur - d_step, df)
+            } else {
+                0.0
+            };
+            if up > best_t {
+                dur += d_step;
+                best_t = up;
+            } else if down > best_t {
+                dur -= d_step;
+                best_t = down;
+            } else {
+                break;
+            }
+        }
+    }
+    let x02 = mk_x02(amp, dur);
+
+    QutritPulses {
+        x01,
+        x12,
+        f12_offset,
+        x02,
+        f02_offset: df,
+    }
+}
+
+/// Builds the counter schedule: `cycles` full cycles (3 hops each) on the
+/// drive channel of qubit 0, with the LO shifted around each off-subspace
+/// pulse.
+pub fn counter_schedule(pulses: &QutritPulses, cycles: usize) -> Schedule {
+    let ch = Channel::Drive(0);
+    let mut s = Schedule::new(format!("base3_counter_{cycles}cycles"));
+    for _ in 0..cycles {
+        // |0⟩ → |1⟩ at f01.
+        s.append(Instruction::Play {
+            waveform: pulses.x01.clone(),
+            channel: ch,
+        });
+        // |1⟩ → |2⟩ at f12.
+        s.append(Instruction::ShiftFrequency {
+            delta: pulses.f12_offset,
+            channel: ch,
+        });
+        s.append(Instruction::Play {
+            waveform: pulses.x12.clone(),
+            channel: ch,
+        });
+        s.append(Instruction::ShiftFrequency {
+            delta: -pulses.f12_offset,
+            channel: ch,
+        });
+        // |2⟩ → |0⟩ via the two-photon transition.
+        s.append(Instruction::ShiftFrequency {
+            delta: pulses.f02_offset,
+            channel: ch,
+        });
+        s.append(Instruction::Play {
+            waveform: pulses.x02.clone(),
+            channel: ch,
+        });
+        s.append(Instruction::ShiftFrequency {
+            delta: -pulses.f02_offset,
+            channel: ch,
+        });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant_device::{calibrate, PulseExecutor};
+    use quant_math::seeded;
+
+    fn setup() -> (DeviceModel, QutritPulses) {
+        let device = DeviceModel::ideal(1);
+        let mut rng = seeded(17);
+        let cal = calibrate(&device, &mut rng);
+        let pulses = calibrate_qutrit(&device, &cal);
+        (device, pulses)
+    }
+
+    #[test]
+    fn x12_pulse_transfers_population() {
+        let (device, pulses) = setup();
+        let t = device.transmon_cal(0);
+        let mut state = DriveState {
+            freq_offset: pulses.f12_offset,
+            ..Default::default()
+        };
+        let u = t.integrate_play(&mut state, &pulses.x12);
+        assert!(u[(2, 1)].norm_sqr() > 0.98, "1→2: {}", u[(2, 1)].norm_sqr());
+    }
+
+    #[test]
+    fn x02_two_photon_transfers_population() {
+        let (device, pulses) = setup();
+        let t = device.transmon_cal(0);
+        let mut state = DriveState {
+            freq_offset: pulses.f02_offset,
+            ..Default::default()
+        };
+        let u = t.integrate_play(&mut state, &pulses.x02);
+        assert!(u[(2, 0)].norm_sqr() > 0.985, "0→2: {}", u[(2, 0)].norm_sqr());
+    }
+
+    #[test]
+    fn one_cycle_returns_to_ground() {
+        let (device, pulses) = setup();
+        let s = counter_schedule(&pulses, 1);
+        let exec = PulseExecutor::noiseless(&device);
+        let mut rng = seeded(1);
+        let out = exec.run_qutrit(&s, &mut rng);
+        assert!(
+            out.populations[0] > 0.85,
+            "one full cycle should return |0⟩: {:?}",
+            out.populations
+        );
+    }
+
+    #[test]
+    fn partial_cycle_lands_midway() {
+        let (device, pulses) = setup();
+        // Two hops: |0⟩→|1⟩→|2⟩.
+        let mut s = Schedule::new("two_hops");
+        let ch = Channel::Drive(0);
+        s.append(Instruction::Play {
+            waveform: pulses.x01.clone(),
+            channel: ch,
+        });
+        s.append(Instruction::ShiftFrequency {
+            delta: pulses.f12_offset,
+            channel: ch,
+        });
+        s.append(Instruction::Play {
+            waveform: pulses.x12.clone(),
+            channel: ch,
+        });
+        let exec = PulseExecutor::noiseless(&device);
+        let mut rng = seeded(2);
+        let out = exec.run_qutrit(&s, &mut rng);
+        assert!(
+            out.populations[2] > 0.9,
+            "two hops should reach |2⟩: {:?}",
+            out.populations
+        );
+    }
+
+    #[test]
+    fn counter_survives_many_noiseless_cycles() {
+        let (device, pulses) = setup();
+        let exec = PulseExecutor::noiseless(&device);
+        let mut rng = seeded(3);
+        let p5 = exec
+            .run_qutrit(&counter_schedule(&pulses, 5), &mut rng)
+            .populations[0];
+        assert!(p5 > 0.5, "5 noiseless cycles: p0 = {p5}");
+    }
+}

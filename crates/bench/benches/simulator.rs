@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the simulation substrates: pulse integration,
+//! density-matrix channels, and the noisy executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pulse_compiler::{CompileMode, Compiler};
+use quant_device::{calibrate, DeviceModel, PulseExecutor};
+use quant_math::seeded;
+use quant_pulse::Drag;
+use quant_sim::{channels, gates, DensityMatrix, StateVector};
+
+fn bench_pulse_integration(c: &mut Criterion) {
+    let device = DeviceModel::ideal(1);
+    let transmon = device.transmon_cal(0);
+    let w = Drag {
+        duration: 160,
+        amp: 0.2,
+        sigma: 40.0,
+        beta: 2.0,
+    }
+    .waveform("w");
+    c.bench_function("transmon_integrate_160_samples", |b| {
+        b.iter(|| transmon.integrate_waveform(std::hint::black_box(&w)))
+    });
+}
+
+fn bench_state_vector(c: &mut Criterion) {
+    c.bench_function("statevector_ghz_10q", |b| {
+        b.iter(|| {
+            let mut psi = StateVector::zero_qubits(10);
+            psi.apply_unitary(&gates::h(), &[0]);
+            for q in 0..9 {
+                psi.apply_unitary(&gates::cnot(), &[q, q + 1]);
+            }
+            psi.probabilities()
+        })
+    });
+}
+
+fn bench_density_matrix(c: &mut Criterion) {
+    c.bench_function("density_matrix_channel_5q", |b| {
+        b.iter(|| {
+            let mut rho = DensityMatrix::zero_qubits(5);
+            rho.apply_unitary(&gates::h(), &[0]);
+            for q in 0..4 {
+                rho.apply_unitary(&gates::cnot(), &[q, q + 1]);
+                rho.apply_kraus(&channels::amplitude_damping(0.01), &[q]);
+            }
+            rho.probabilities()
+        })
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let device = DeviceModel::ideal(2);
+    let mut rng = seeded(3);
+    let cal = calibrate(&device, &mut rng);
+    let mut circuit = quant_circuit::Circuit::new(2);
+    circuit.h(0).cnot(0, 1);
+    let compiled = Compiler::new(&device, &cal, CompileMode::Optimized)
+        .compile(&circuit)
+        .unwrap();
+    let exec = PulseExecutor::new(&device);
+    c.bench_function("executor_bell_pair_noisy", |b| {
+        b.iter(|| {
+            let mut rng = seeded(4);
+            exec.run(std::hint::black_box(&compiled.program), &mut rng)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pulse_integration, bench_state_vector, bench_density_matrix, bench_executor
+}
+criterion_main!(benches);

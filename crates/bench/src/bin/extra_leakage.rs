@@ -1,0 +1,119 @@
+//! Extension experiment: leakage vs pulse amplitude — §8.3's third
+//! fidelity source, measured rather than asserted.
+//!
+//! The paper argues that smaller/stretched pulse amplitudes reduce leakage
+//! to |2⟩ ("smaller spectral components"), and §7 notes that qutrit
+//! readout can *detect* leakage directly. Here we do exactly that: drive X
+//! pulses of equal area but different (amplitude, duration) trade-offs,
+//! read the transmon as a qutrit through the IQ discriminator, and report
+//! the measured |2⟩ population — with and without DRAG.
+//!
+//! ```text
+//! cargo run --release -p repro-bench --bin extra_leakage
+//! ```
+
+use quant_char::Lda;
+use quant_device::{readout, DriveState, DT};
+use quant_math::seeded;
+use quant_pulse::Drag;
+use repro_bench::Setup;
+
+fn main() {
+    let setup = Setup::almaden(1, 3131);
+    let transmon = setup.device.transmon_cal(0);
+    let mut rng = seeded(64_000);
+    let shots = 4000;
+
+    // Train the qutrit discriminator.
+    let mut pts = Vec::new();
+    let mut lbl = Vec::new();
+    for level in 0..3usize {
+        for _ in 0..1500 {
+            pts.push(readout::sample_iq(setup.device.readout(0), level, &mut rng));
+            lbl.push(level);
+        }
+    }
+    let lda = Lda::train(&pts, &lbl, 3);
+
+    println!("Leakage to |2⟩ vs X-pulse amplitude (equal rotation, qutrit readout)\n");
+    println!(
+        "{:>9} {:>9} {:>13} {:>13} {:>13}",
+        "duration", "peak amp", "true plain", "true DRAG", "measured"
+    );
+
+    // Equal-area π pulses: shorter duration ⇒ higher amplitude.
+    let reference = setup.calibration.qubit(0).rx180.amp * 160.0;
+    for duration in [64u64, 80, 96, 128, 160, 224] {
+        let sigma = duration as f64 / 4.0;
+        // Solve amp for a π rotation (area conservation, then a refinement
+        // against the integrated angle).
+        let mut amp = (reference / duration as f64).min(0.95);
+        for _ in 0..3 {
+            let w = Drag {
+                duration,
+                amp,
+                sigma,
+                beta: 0.0,
+            }
+            .waveform("probe");
+            let mut st = DriveState::default();
+            let u = transmon.integrate_play(&mut st, &w);
+            let (_, theta, _) = quant_sim::euler_zxz(&qubit_block(&u));
+            if theta > 1e-6 {
+                amp = (amp * std::f64::consts::PI / theta).min(0.95);
+            }
+        }
+        // β ≈ −1/α is a constant time scale, independent of pulse duration.
+        let beta_drag = setup.calibration.qubit(0).rx180.beta;
+        let mut true_leak = [0.0_f64; 2];
+        for (i, beta) in [0.0, beta_drag].into_iter().enumerate() {
+            let w = Drag {
+                duration,
+                amp: amp.min(0.999),
+                sigma,
+                beta,
+            }
+            .waveform("x");
+            let mut st = DriveState::default();
+            let u = transmon.integrate_play(&mut st, &w);
+            true_leak[i] = u[(2, 0)].norm_sqr();
+        }
+        // Measured P(|2⟩) for the plain pulse, through the IQ clouds: real
+        // leakage detection fights the discriminator's assignment floor.
+        let mut measured2 = 0usize;
+        for _ in 0..shots {
+            let level = if rng_gen(&mut rng) < true_leak[0] { 2 } else { 1 };
+            let pt = readout::sample_iq(setup.device.readout(0), level, &mut rng);
+            if lda.classify(pt) == 2 {
+                measured2 += 1;
+            }
+        }
+        println!(
+            "{:>6.0} ns {:>9.3} {:>12.3e} {:>12.3e} {:>12.3}%",
+            duration as f64 * DT * 1e9,
+            amp,
+            true_leak[0],
+            true_leak[1],
+            100.0 * measured2 as f64 / shots as f64
+        );
+    }
+    println!("\nTrue leakage falls ~two orders of magnitude from the strongest to the");
+    println!("weakest pulse — §8.3's source 3 (smaller amplitudes, smaller spectral");
+    println!("components). At these calibrated amplitudes the lifted envelopes are");
+    println!("already spectrally clean, so DRAG is neutral; its large wins appear at");
+    println!("extreme amplitudes (see `drag_suppresses_leakage` in quant-device).");
+    println!("The *measured* column shows why hardware needs dedicated protocols:");
+    println!("the ~1% qutrit-readout assignment floor masks leakage this small.");
+}
+
+fn qubit_block(u: &quant_math::CMat) -> quant_math::CMat {
+    quant_math::CMat::from_rows(&[
+        &[u[(0, 0)], u[(0, 1)]],
+        &[u[(1, 0)], u[(1, 1)]],
+    ])
+}
+
+fn rng_gen(rng: &mut rand::rngs::StdRng) -> f64 {
+    use rand::Rng;
+    rng.gen()
+}

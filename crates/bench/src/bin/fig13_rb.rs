@@ -1,0 +1,117 @@
+//! Figure 13: randomized-benchmarking-style decomposition of the fidelity
+//! gain (paper §8.3), on the Armonk-like single-qubit device.
+//!
+//! Three variants per sequence length K = 2…25 (5 randomizations each):
+//! * **standard** — two-pulse U3 compilation;
+//! * **optimized** — DirectRx single-pulse compilation;
+//! * **optimized-slow** — DirectRx pulses padded with idle to match the
+//!   standard duration, isolating the shorter-pulse contribution.
+//!
+//! Paper: gate fidelities f = 99.82 % / 99.87 % / 99.83 %, implying ~70 %
+//! of the improvement comes from shorter pulses.
+
+use pulse_compiler::{CompileMode, Compiler};
+use quant_char::{rb_sequence, RbData};
+use quant_circuit::Circuit;
+use quant_device::{Block, LoweredProgram, PulseExecutor};
+use quant_math::seeded;
+use repro_bench::Setup;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    Standard,
+    Optimized,
+    OptimizedSlow,
+}
+
+fn compile_variant(setup: &Setup, c: &Circuit, v: Variant) -> LoweredProgram {
+    let mode = match v {
+        Variant::Standard => CompileMode::Standard,
+        _ => CompileMode::Optimized,
+    };
+    let compiled = Compiler::new(&setup.device, &setup.calibration, mode)
+        .compile(c)
+        .unwrap();
+    let mut program = compiled.program;
+    if v == Variant::OptimizedSlow {
+        // NO-OP idle after every gate so the total matches the standard
+        // duration (each optimized 1q gate is one pulse shorter).
+        let std_dur = Compiler::new(&setup.device, &setup.calibration, CompileMode::Standard)
+            .compile(c)
+            .unwrap()
+            .duration();
+        let deficit = std_dur.saturating_sub(program.duration());
+        if deficit > 0 {
+            program.blocks.push(Block::Idle {
+                qubit: 0,
+                duration: deficit,
+            });
+        }
+    }
+    program
+}
+
+fn main() {
+    let setup = Setup::armonk(1313);
+    let shots = 8000;
+    let randomizations = 6;
+    // The paper swept K = 2…25 with per-gate error ~1.8e-3; our simulated
+    // Armonk's gates are ~4x cleaner, so we extend the sweep to keep the
+    // total decay depth comparable.
+    let lengths: Vec<usize> = (1..=20).map(|i| 20 * i).collect();
+    let exec = PulseExecutor::new(&setup.device);
+
+    println!("Figure 13 — RB-style decay on the Armonk-like device");
+    println!(
+        "({} lengths × {randomizations} randomizations × 3 variants × {shots} shots)\n",
+        lengths.len()
+    );
+
+    let mut fits = Vec::new();
+    for (name, variant) in [
+        ("optimized", Variant::Optimized),
+        ("optimized-slow", Variant::OptimizedSlow),
+        ("standard", Variant::Standard),
+    ] {
+        let mut survival = Vec::new();
+        for &k in &lengths {
+            let mut total = 0.0;
+            for r in 0..randomizations {
+                let mut rng = seeded(5000 + (k * 31 + r) as u64);
+                let c = rb_sequence(k, &mut rng);
+                let program = compile_variant(&setup, &c, variant);
+                let out = exec.run(&program, &mut rng);
+                let counts = out.sample_counts(&mut rng, shots);
+                total += counts[0] as f64 / shots as f64;
+            }
+            survival.push(total / randomizations as f64);
+        }
+        let data = RbData {
+            lengths: lengths.clone(),
+            survival,
+        };
+        let fit = data.fit();
+        println!(
+            "{name:<15} f = {:.4}%   a = {:.3}  b = {:.3}",
+            100.0 * fit.f,
+            fit.a,
+            fit.b
+        );
+        fits.push((name, fit.f));
+    }
+
+    let f_opt = fits[0].1;
+    let f_slow = fits[1].1;
+    let f_std = fits[2].1;
+    let total_gain = f_opt - f_std;
+    if total_gain > 0.0 {
+        let from_speed = (f_opt - f_slow) / total_gain;
+        println!(
+            "\nshorter pulses account for {:.0}% of the fidelity gain",
+            100.0 * from_speed
+        );
+    } else {
+        println!("\n(no net gain measured — see EXPERIMENTS.md discussion)");
+    }
+    println!("paper reference: f = 99.87% / 99.83% / 99.82%; ~70% from shorter pulses");
+}

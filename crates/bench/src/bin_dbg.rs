@@ -1,0 +1,21 @@
+use quant_device::device::DeviceModel;
+use quant_device::calibration::calibrate;
+use quant_pulse::Channel;
+use quant_sim::gates;
+
+fn main() {
+    let device = DeviceModel::ideal(1);
+    let mut rng = quant_math::seeded(9);
+    let cal = calibrate(&device, &mut rng);
+    let q = cal.qubit(0);
+    println!("amp180={} beta={} phases={:?} {:?}", q.rx180.amp, q.rx180.beta, q.rx180_phase, q.rx90_phase);
+    let t = device.transmon_cal(0);
+    let r = t.integrate_waveform(&q.rx180.waveform("x"));
+    println!("U raw:\n{:?}", r.unitary);
+    let (a, th, c) = quant_sim::euler_zxz(&r.qubit_block());
+    println!("euler: a={a} th={th} c={c}  (pi={})", std::f64::consts::PI);
+    let s = cal.cmd_def().get("rx180", &[0]).unwrap();
+    let rc = t.integrate(s, Channel::Drive(0));
+    println!("corrected diff to X = {}", rc.qubit_block().phase_invariant_diff(&gates::x()));
+    println!("leak = {}", r.leakage_from_ground());
+}

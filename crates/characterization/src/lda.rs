@@ -1,0 +1,179 @@
+//! Linear discriminant analysis for qutrit IQ readout (paper §7.2).
+//!
+//! The paper trains sklearn's `LinearDiscriminantAnalysis` on calibration
+//! shots of the prepared |0⟩, |1⟩, |2⟩ states and uses it to classify the
+//! resonator's IQ response. This is the same classifier from scratch: a
+//! pooled-covariance Gaussian model whose decision functions are linear.
+
+/// A trained 2-D linear discriminant classifier over `k` classes.
+#[derive(Clone, Debug)]
+pub struct Lda {
+    /// Class means.
+    means: Vec<(f64, f64)>,
+    /// Inverse pooled covariance (2×2, row-major).
+    inv_cov: [[f64; 2]; 2],
+    /// Log priors.
+    log_priors: Vec<f64>,
+}
+
+impl Lda {
+    /// Trains on labelled IQ points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any class has no samples or the pooled covariance is
+    /// singular.
+    pub fn train(points: &[(f64, f64)], labels: &[usize], num_classes: usize) -> Self {
+        assert_eq!(points.len(), labels.len());
+        assert!(num_classes >= 2);
+        let mut counts = vec![0usize; num_classes];
+        let mut sums = vec![(0.0, 0.0); num_classes];
+        for (&p, &l) in points.iter().zip(labels) {
+            assert!(l < num_classes, "label {l} out of range");
+            counts[l] += 1;
+            sums[l].0 += p.0;
+            sums[l].1 += p.1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "every class needs at least one sample"
+        );
+        let means: Vec<(f64, f64)> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&(sx, sy), &c)| (sx / c as f64, sy / c as f64))
+            .collect();
+
+        // Pooled within-class covariance.
+        let mut cov = [[0.0f64; 2]; 2];
+        for (&p, &l) in points.iter().zip(labels) {
+            let dx = p.0 - means[l].0;
+            let dy = p.1 - means[l].1;
+            cov[0][0] += dx * dx;
+            cov[0][1] += dx * dy;
+            cov[1][0] += dy * dx;
+            cov[1][1] += dy * dy;
+        }
+        let denom = (points.len() - num_classes) as f64;
+        for row in &mut cov {
+            for v in row.iter_mut() {
+                *v /= denom;
+            }
+        }
+        let det = cov[0][0] * cov[1][1] - cov[0][1] * cov[1][0];
+        assert!(det.abs() > 1e-18, "singular pooled covariance");
+        let inv_cov = [
+            [cov[1][1] / det, -cov[0][1] / det],
+            [-cov[1][0] / det, cov[0][0] / det],
+        ];
+        let total: usize = counts.iter().sum();
+        let log_priors = counts
+            .iter()
+            .map(|&c| (c as f64 / total as f64).ln())
+            .collect();
+        Lda {
+            means,
+            inv_cov,
+            log_priors,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.means.len()
+    }
+
+    /// The linear discriminant score of a point for each class.
+    pub fn scores(&self, p: (f64, f64)) -> Vec<f64> {
+        self.means
+            .iter()
+            .zip(&self.log_priors)
+            .map(|(&(mx, my), &lp)| {
+                // δ_k(x) = xᵀΣ⁻¹μ − ½μᵀΣ⁻¹μ + log π.
+                let sx = self.inv_cov[0][0] * mx + self.inv_cov[0][1] * my;
+                let sy = self.inv_cov[1][0] * mx + self.inv_cov[1][1] * my;
+                p.0 * sx + p.1 * sy - 0.5 * (mx * sx + my * sy) + lp
+            })
+            .collect()
+    }
+
+    /// Classifies a point.
+    pub fn classify(&self, p: (f64, f64)) -> usize {
+        let scores = self.scores(p);
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+    }
+
+    /// Classification accuracy on a labelled set.
+    pub fn accuracy(&self, points: &[(f64, f64)], labels: &[usize]) -> f64 {
+        let correct = points
+            .iter()
+            .zip(labels)
+            .filter(|(&p, &l)| self.classify(p) == l)
+            .count();
+        correct as f64 / points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant_math::{normal, seeded};
+
+    fn synthetic_clouds(
+        centers: &[(f64, f64)],
+        sigma: f64,
+        per_class: usize,
+        seed: u64,
+    ) -> (Vec<(f64, f64)>, Vec<usize>) {
+        let mut rng = seeded(seed);
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for (k, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..per_class {
+                points.push((normal(&mut rng, cx, sigma), normal(&mut rng, cy, sigma)));
+                labels.push(k);
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn separable_clouds_classified_accurately() {
+        let centers = [(-1.0, -0.4), (1.0, -0.4), (0.15, 1.2)];
+        let (pts, lbl) = synthetic_clouds(&centers, 0.3, 800, 41);
+        let lda = Lda::train(&pts, &lbl, 3);
+        let (test_pts, test_lbl) = synthetic_clouds(&centers, 0.3, 400, 42);
+        let acc = lda.accuracy(&test_pts, &test_lbl);
+        assert!(acc > 0.96, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn overlapping_clouds_degrade_gracefully() {
+        let centers = [(0.0, 0.0), (0.5, 0.0)];
+        let (pts, lbl) = synthetic_clouds(&centers, 0.5, 500, 43);
+        let lda = Lda::train(&pts, &lbl, 2);
+        let acc = lda.accuracy(&pts, &lbl);
+        assert!(acc > 0.6 && acc < 0.9, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn classify_at_centroids() {
+        let centers = [(-2.0, 0.0), (2.0, 0.0), (0.0, 3.0)];
+        let (pts, lbl) = synthetic_clouds(&centers, 0.4, 300, 44);
+        let lda = Lda::train(&pts, &lbl, 3);
+        for (k, &c) in centers.iter().enumerate() {
+            assert_eq!(lda.classify(c), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_empty_class() {
+        Lda::train(&[(0.0, 0.0), (1.0, 1.0)], &[0, 0], 2);
+    }
+}

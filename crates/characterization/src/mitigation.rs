@@ -1,0 +1,170 @@
+//! Measurement-error mitigation by calibration-matrix inversion.
+//!
+//! The paper corrects biased readout (§2.4) with the classical
+//! post-processing of Maciejewski et al. / Chen et al.: measure the
+//! confusion matrix by preparing each basis state, then apply its inverse
+//! to measured distributions (with clipping back onto the simplex).
+
+use quant_math::{C64, CMat};
+
+/// A measurement-error mitigator for `n` qubits with a tensor-product
+/// confusion model.
+#[derive(Clone, Debug)]
+pub struct Mitigator {
+    /// Per-qubit confusion matrices `M[measured][prepared]`.
+    per_qubit: Vec<[[f64; 2]; 2]>,
+}
+
+impl Mitigator {
+    /// Builds a mitigator from per-qubit confusion matrices.
+    pub fn new(per_qubit: Vec<[[f64; 2]; 2]>) -> Self {
+        for m in &per_qubit {
+            for col in 0..2 {
+                let s = m[0][col] + m[1][col];
+                assert!(
+                    (s - 1.0).abs() < 1e-9,
+                    "confusion matrix columns must sum to 1"
+                );
+            }
+        }
+        Mitigator { per_qubit }
+    }
+
+    /// Estimates per-qubit confusion matrices from calibration runs: for
+    /// each qubit, the measured P(1 | prepared 0) and P(0 | prepared 1).
+    pub fn from_calibration(p1_given_0: &[f64], p0_given_1: &[f64]) -> Self {
+        assert_eq!(p1_given_0.len(), p0_given_1.len());
+        let per_qubit = p1_given_0
+            .iter()
+            .zip(p0_given_1)
+            .map(|(&e0, &e1)| [[1.0 - e0, e1], [e0, 1.0 - e1]])
+            .collect();
+        Mitigator::new(per_qubit)
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.per_qubit.len()
+    }
+
+    /// Applies the *forward* confusion model to an ideal distribution
+    /// (useful in tests).
+    pub fn apply_forward(&self, probs: &[f64]) -> Vec<f64> {
+        let n = self.num_qubits();
+        assert_eq!(probs.len(), 1 << n);
+        let mut cur = probs.to_vec();
+        for (q, m) in self.per_qubit.iter().enumerate() {
+            let mut next = vec![0.0; cur.len()];
+            for (i, &p) in cur.iter().enumerate() {
+                let bit = (i >> q) & 1;
+                for (meas, row) in m.iter().enumerate() {
+                    let j = (i & !(1 << q)) | (meas << q);
+                    next[j] += p * row[bit];
+                }
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// Mitigates a measured distribution: applies each per-qubit inverse
+    /// and projects back onto the probability simplex (clip + renormalize).
+    pub fn mitigate(&self, measured: &[f64]) -> Vec<f64> {
+        let n = self.num_qubits();
+        assert_eq!(measured.len(), 1 << n, "distribution size mismatch");
+        let mut cur = measured.to_vec();
+        for (q, m) in self.per_qubit.iter().enumerate() {
+            let mat = CMat::from_real_rows(&[&[m[0][0], m[0][1]], &[m[1][0], m[1][1]]]);
+            let inv = mat
+                .inverse()
+                .expect("confusion matrix must be invertible");
+            let mut next = vec![0.0; cur.len()];
+            for (i, &p) in cur.iter().enumerate() {
+                let bit = (i >> q) & 1;
+                for prepared in 0..2 {
+                    let j = (i & !(1 << q)) | (prepared << q);
+                    next[j] += p * inv[(prepared, bit)].re;
+                }
+            }
+            cur = next;
+        }
+        // Project to the simplex.
+        let mut clipped: Vec<f64> = cur.into_iter().map(|p| p.max(0.0)).collect();
+        let total: f64 = clipped.iter().sum();
+        if total > 0.0 {
+            for p in &mut clipped {
+                *p /= total;
+            }
+        }
+        clipped
+    }
+
+    /// Full 2ⁿ×2ⁿ confusion matrix (tensor product) — for inspection.
+    pub fn full_matrix(&self) -> CMat {
+        let mut full = CMat::identity(1);
+        for m in self.per_qubit.iter().rev() {
+            let m2 = CMat::from_real_rows(&[&[m[0][0], m[0][1]], &[m[1][0], m[1][1]]]);
+            full = full.kron(&m2);
+        }
+        let _ = C64::ZERO;
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mitigator2() -> Mitigator {
+        Mitigator::from_calibration(&[0.02, 0.03], &[0.06, 0.05])
+    }
+
+    #[test]
+    fn forward_then_mitigate_recovers_ideal() {
+        let m = mitigator2();
+        let ideal = [0.5, 0.0, 0.0, 0.5];
+        let noisy = m.apply_forward(&ideal);
+        assert!(noisy[0] < 0.5, "forward model must mix");
+        let recovered = m.mitigate(&noisy);
+        for (a, b) in ideal.iter().zip(&recovered) {
+            assert!((a - b).abs() < 1e-9, "{recovered:?}");
+        }
+    }
+
+    #[test]
+    fn mitigation_output_is_a_distribution() {
+        let m = mitigator2();
+        // A noisy empirical distribution (not exactly in the model's
+        // image) still maps to a valid distribution.
+        let measured = [0.47, 0.04, 0.03, 0.46];
+        let out = m.mitigate(&measured);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(out.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn mitigation_reduces_hellinger_error() {
+        let m = mitigator2();
+        let ideal = [0.125, 0.375, 0.375, 0.125];
+        let noisy = m.apply_forward(&ideal);
+        let h_before = crate::metrics::hellinger_distance(&ideal, &noisy);
+        let h_after =
+            crate::metrics::hellinger_distance(&ideal, &m.mitigate(&noisy));
+        assert!(h_after < h_before * 0.05, "{h_before} → {h_after}");
+    }
+
+    #[test]
+    fn full_matrix_columns_sum_to_one() {
+        let full = mitigator2().full_matrix();
+        for c in 0..4 {
+            let s: f64 = (0..4).map(|r| full[(r, c)].re).sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "columns must sum")]
+    fn rejects_invalid_confusion() {
+        Mitigator::new(vec![[[0.9, 0.0], [0.2, 1.0]]]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Monte-Carlo process fidelity estimation.
+//!
+//! Direct process tomography needs `4ⁿ` basis experiments; for quick gate
+//! characterization a Monte-Carlo estimate over random product input
+//! states converges fast and needs only state fidelities. The estimator
+//! feeds the reproduction's gate-level sanity checks (e.g. comparing the
+//! simulated pulse-level CNOT against the ideal matrix).
+
+use quant_math::CMat;
+use quant_sim::{gates, StateVector};
+use rand::Rng;
+
+/// Draws a Haar-ish random single-qubit state preparation unitary.
+fn random_u3(rng: &mut impl Rng) -> CMat {
+    let u: f64 = rng.gen();
+    let theta = (1.0 - 2.0 * u).acos();
+    let phi = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+    let lambda = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+    gates::u3(theta, phi, lambda)
+}
+
+/// Estimates the average state-transfer fidelity of `apply` against the
+/// ideal unitary `target` (dimension `2ⁿ`), by averaging
+/// `|⟨ψ_out_ideal|ψ_out_actual⟩|²` over random product input states.
+///
+/// `apply` receives a freshly prepared input state and must evolve it with
+/// the channel under test (it may be stochastic — each sample sees one
+/// noise realization).
+///
+/// The estimate converges to the channel's average *state* fidelity over
+/// the product-state ensemble — a close, cheap proxy for the average gate
+/// fidelity used throughout the paper.
+pub fn monte_carlo_process_fidelity(
+    num_qubits: usize,
+    target: &CMat,
+    mut apply: impl FnMut(&mut StateVector),
+    samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert_eq!(target.rows(), 1 << num_qubits, "target dimension mismatch");
+    assert!(samples > 0);
+    let targets: Vec<usize> = (0..num_qubits).collect();
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let mut input = StateVector::zero_qubits(num_qubits);
+        for q in 0..num_qubits {
+            input.apply_unitary(&random_u3(rng), &[q]);
+        }
+        let mut ideal = input.clone();
+        ideal.apply_unitary(target, &targets);
+        let mut actual = input;
+        apply(&mut actual);
+        total += ideal.fidelity(&actual);
+    }
+    total / samples as f64
+}
+
+/// The same estimator for channels expressed as Kraus sets (applied to a
+/// density-matrix copy of each sample). Returns the average fidelity of
+/// the channel against the target unitary.
+pub fn kraus_process_fidelity(
+    num_qubits: usize,
+    target: &CMat,
+    kraus: &[CMat],
+    samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    use quant_sim::DensityMatrix;
+    let targets: Vec<usize> = (0..num_qubits).collect();
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let mut input = StateVector::zero_qubits(num_qubits);
+        for q in 0..num_qubits {
+            input.apply_unitary(&random_u3(rng), &[q]);
+        }
+        let mut ideal = input.clone();
+        ideal.apply_unitary(target, &targets);
+        let mut rho = DensityMatrix::from_state(&input);
+        rho.apply_kraus(kraus, &targets);
+        total += rho.fidelity_pure(&ideal);
+    }
+    total / samples as f64
+}
+
+/// Converts an average state fidelity over the Haar ensemble into the
+/// entanglement (process) fidelity: `F_avg = (d·F_pro + 1)/(d + 1)`.
+pub fn entanglement_fidelity_from_average(f_avg: f64, dim: usize) -> f64 {
+    let d = dim as f64;
+    ((d + 1.0) * f_avg - 1.0) / d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant_math::seeded;
+
+    #[test]
+    fn perfect_gate_scores_one() {
+        let mut rng = seeded(51);
+        let f = monte_carlo_process_fidelity(
+            2,
+            &gates::cnot(),
+            |psi| psi.apply_unitary(&gates::cnot(), &[0, 1]),
+            64,
+            &mut rng,
+        );
+        assert!((f - 1.0).abs() < 1e-10, "f = {f}");
+    }
+
+    #[test]
+    fn wrong_gate_scores_low() {
+        let mut rng = seeded(52);
+        let f = monte_carlo_process_fidelity(
+            1,
+            &gates::x(),
+            |psi| psi.apply_unitary(&gates::z(), &[0]),
+            128,
+            &mut rng,
+        );
+        assert!(f < 0.7, "X vs Z should disagree strongly: {f}");
+    }
+
+    #[test]
+    fn small_coherent_error_is_detected() {
+        let mut rng = seeded(53);
+        let eps = 0.1;
+        let f = monte_carlo_process_fidelity(
+            1,
+            &gates::x(),
+            |psi| psi.apply_unitary(&gates::rx(std::f64::consts::PI + eps), &[0]),
+            512,
+            &mut rng,
+        );
+        // Expected infidelity ~ (ε/2)²·(2/3) for a Haar average.
+        let expect = 1.0 - (eps / 2.0).powi(2) * 2.0 / 3.0;
+        assert!((f - expect).abs() < 0.01, "f = {f} vs expect {expect}");
+    }
+
+    #[test]
+    fn kraus_estimator_matches_unitary_estimator() {
+        let mut rng = seeded(54);
+        let channel = vec![gates::h()];
+        let f_kraus =
+            kraus_process_fidelity(1, &gates::h(), &channel, 128, &mut rng);
+        assert!((f_kraus - 1.0).abs() < 1e-10);
+        // Depolarizing with p: F_avg = 1 − p/2 for a single qubit.
+        let p = 0.2;
+        let f_dep = kraus_process_fidelity(
+            1,
+            &CMat::identity(2),
+            &quant_sim::channels::depolarizing(p),
+            2048,
+            &mut rng,
+        );
+        assert!((f_dep - (1.0 - p / 2.0)).abs() < 0.02, "f = {f_dep}");
+    }
+
+    #[test]
+    fn entanglement_fidelity_conversion() {
+        // F_avg = 1 ⇒ F_pro = 1; F_avg = 1/2 on a qubit ⇒ F_pro = 1/4.
+        assert!((entanglement_fidelity_from_average(1.0, 2) - 1.0).abs() < 1e-12);
+        assert!((entanglement_fidelity_from_average(0.5, 2) - 0.25).abs() < 1e-12);
+    }
+}

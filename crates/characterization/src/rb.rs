@@ -1,0 +1,172 @@
+//! Randomized-benchmarking-style sequences (paper §8.3, Fig. 13).
+//!
+//! The experiment: pick `K−1` random single-qubit unitaries, append the
+//! single inversion unitary, run, and record the ground-state survival
+//! probability. Fitting `P(K) = a·fᴷ + b` separates gate fidelity `f` from
+//! SPAM (`a`, `b`).
+
+use quant_circuit::{Circuit, Gate};
+use quant_math::{fit_exp_decay, CMat, ExpDecayFit};
+use rand::Rng;
+
+/// Generates one RB-style sequence of `k` operations (including the final
+/// inversion) as a circuit on one qubit.
+///
+/// The first `k−1` operations are Haar-ish random `U3` gates; the last is
+/// the exact inverse of their product, so the ideal circuit is the
+/// identity.
+pub fn rb_sequence(k: usize, rng: &mut impl Rng) -> Circuit {
+    assert!(k >= 2, "need at least one random gate plus the inversion");
+    let mut c = Circuit::new(1);
+    let mut product = CMat::identity(2);
+    for _ in 0..k - 1 {
+        // Haar-adjacent sampling: θ from arccos distribution, phases flat.
+        let u: f64 = rng.gen();
+        let theta = (1.0 - 2.0 * u).acos();
+        let phi = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let lambda = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let gate = Gate::U3(theta, phi, lambda);
+        product = &gate.matrix() * &product;
+        c.push(gate, &[0]);
+        // RB sequences are deliberately redundant; a barrier keeps the
+        // compiler from collapsing them to identity.
+        c.push(Gate::Barrier, &[0]);
+    }
+    // Inversion: decompose the adjoint of the accumulated product.
+    let (a, theta, cc) = quant_sim::euler_zxz(&product.dagger());
+    c.push(
+        Gate::U3(
+            theta,
+            a - std::f64::consts::FRAC_PI_2,
+            cc + std::f64::consts::FRAC_PI_2,
+        ),
+        &[0],
+    );
+    c
+}
+
+/// Generates an *interleaved* RB sequence: after every random gate, the
+/// gate under test is inserted; the final operation still inverts the
+/// whole product. Comparing the interleaved decay `f_int` against the
+/// plain decay `f_ref` isolates the tested gate's fidelity:
+/// `f_gate ≈ f_int / f_ref` (Magesan et al.'s interleaved RB).
+pub fn interleaved_rb_sequence(k: usize, gate: Gate, rng: &mut impl Rng) -> Circuit {
+    assert!(k >= 2, "need at least one random gate plus the inversion");
+    assert_eq!(gate.arity(), 1, "interleaved RB here is single-qubit");
+    let mut c = Circuit::new(1);
+    let mut product = CMat::identity(2);
+    for _ in 0..k - 1 {
+        let u: f64 = rng.gen();
+        let theta = (1.0 - 2.0 * u).acos();
+        let phi = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let lambda = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let random = Gate::U3(theta, phi, lambda);
+        product = &random.matrix() * &product;
+        c.push(random, &[0]);
+        c.push(Gate::Barrier, &[0]);
+        product = &gate.matrix() * &product;
+        c.push(gate, &[0]);
+        c.push(Gate::Barrier, &[0]);
+    }
+    let (a, theta, cc) = quant_sim::euler_zxz(&product.dagger());
+    c.push(
+        Gate::U3(
+            theta,
+            a - std::f64::consts::FRAC_PI_2,
+            cc + std::f64::consts::FRAC_PI_2,
+        ),
+        &[0],
+    );
+    c
+}
+
+/// Extracts the per-gate fidelity of the interleaved gate from the two
+/// decay constants: `f_gate = f_interleaved / f_reference`, clamped to
+/// `[0, 1]`.
+pub fn interleaved_gate_fidelity(f_reference: f64, f_interleaved: f64) -> f64 {
+    if f_reference <= 0.0 {
+        return 0.0;
+    }
+    (f_interleaved / f_reference).clamp(0.0, 1.0)
+}
+
+/// A full RB dataset: for each sequence length K, the mean ground-state
+/// survival probability over several randomizations.
+#[derive(Clone, Debug)]
+pub struct RbData {
+    /// Sequence lengths.
+    pub lengths: Vec<usize>,
+    /// Mean survival probability per length.
+    pub survival: Vec<f64>,
+}
+
+impl RbData {
+    /// Fits `P(K) = a·fᴷ + b`; `f` is interpreted as per-gate fidelity.
+    pub fn fit(&self) -> ExpDecayFit {
+        let ks: Vec<f64> = self.lengths.iter().map(|&k| k as f64).collect();
+        fit_exp_decay(&ks, &self.survival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant_math::seeded;
+
+    #[test]
+    fn sequences_compose_to_identity() {
+        let mut rng = seeded(31);
+        for k in [2, 5, 10, 25] {
+            let c = rb_sequence(k, &mut rng);
+            // k gates plus k−1 barriers.
+            assert_eq!(c.count_gate("u3"), k);
+            let p = c.output_distribution();
+            assert!(
+                (p[0] - 1.0).abs() < 1e-9,
+                "K = {k}: survival {p:?} should be 1 ideally"
+            );
+        }
+    }
+
+    #[test]
+    fn sequences_are_random() {
+        let mut rng = seeded(32);
+        let a = rb_sequence(5, &mut rng);
+        let b = rb_sequence(5, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn interleaved_sequences_compose_to_identity() {
+        let mut rng = seeded(33);
+        for gate in [Gate::X, Gate::DirectX, Gate::H] {
+            let c = interleaved_rb_sequence(6, gate, &mut rng);
+            let p = c.output_distribution();
+            assert!(
+                (p[0] - 1.0).abs() < 1e-9,
+                "{gate:?}: survival {p:?} should be 1 ideally"
+            );
+            assert_eq!(c.count_gate(gate.name()), 5);
+        }
+    }
+
+    #[test]
+    fn interleaved_fidelity_extraction() {
+        assert!((interleaved_gate_fidelity(0.998, 0.996) - 0.996 / 0.998).abs() < 1e-12);
+        assert_eq!(interleaved_gate_fidelity(0.0, 0.5), 0.0);
+        assert_eq!(interleaved_gate_fidelity(0.9, 0.95), 1.0_f64.min(0.95 / 0.9));
+    }
+
+    #[test]
+    fn synthetic_decay_fit() {
+        // Survival from a known (f, a, b): the fit must recover f.
+        let lengths: Vec<usize> = (2..=25).collect();
+        let survival: Vec<f64> = lengths
+            .iter()
+            .map(|&k| 0.5 * 0.9982_f64.powi(k as i32) + 0.5)
+            .collect();
+        let data = RbData { lengths, survival };
+        let fit = data.fit();
+        assert!((fit.f - 0.9982).abs() < 2e-4, "f = {}", fit.f);
+    }
+}

@@ -1,0 +1,335 @@
+//! Quantum circuits: ordered gate lists with a builder API.
+
+use crate::gate::Gate;
+use quant_math::CMat;
+use quant_sim::{embed, StateVector};
+use std::fmt;
+
+/// One gate application.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Operation {
+    /// The gate.
+    pub gate: Gate,
+    /// Operand qubits; length equals `gate.arity()`.
+    pub qubits: Vec<u32>,
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.gate)?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "q[{q}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A gate-level quantum circuit (the paper's "assembly" stage).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    num_qubits: u32,
+    ops: Vec<Operation>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Circuit {
+            num_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The operations in program order.
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the circuit has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends a gate application.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch, out-of-range or duplicate qubits.
+    pub fn push(&mut self, gate: Gate, qubits: &[u32]) -> &mut Self {
+        assert_eq!(
+            qubits.len(),
+            gate.arity(),
+            "{gate} expects {} operand(s), got {}",
+            gate.arity(),
+            qubits.len()
+        );
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+            assert!(!qubits[..i].contains(&q), "duplicate operand qubit {q}");
+        }
+        self.ops.push(Operation {
+            gate,
+            qubits: qubits.to_vec(),
+        });
+        self
+    }
+
+    // Builder conveniences for the common gates.
+
+    /// X gate.
+    pub fn x(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::X, &[q])
+    }
+
+    /// Y gate.
+    pub fn y(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Y, &[q])
+    }
+
+    /// Z gate.
+    pub fn z(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Z, &[q])
+    }
+
+    /// Hadamard gate.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::H, &[q])
+    }
+
+    /// Rx rotation.
+    pub fn rx(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push(Gate::Rx(theta), &[q])
+    }
+
+    /// Ry rotation.
+    pub fn ry(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push(Gate::Ry(theta), &[q])
+    }
+
+    /// Rz rotation.
+    pub fn rz(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push(Gate::Rz(theta), &[q])
+    }
+
+    /// CNOT with `control → target`.
+    pub fn cnot(&mut self, control: u32, target: u32) -> &mut Self {
+        self.push(Gate::Cnot, &[control, target])
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push(Gate::Cz, &[a, b])
+    }
+
+    /// ZZ interaction by angle θ.
+    pub fn zz(&mut self, a: u32, b: u32, theta: f64) -> &mut Self {
+        self.push(Gate::Zz(theta), &[a, b])
+    }
+
+    /// Appends all operations of `other` (qubit indices unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` touches qubits outside this circuit.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert!(other.num_qubits <= self.num_qubits, "circuit too wide");
+        for op in &other.ops {
+            self.push(op.gate, &op.qubits);
+        }
+        self
+    }
+
+    /// The adjoint circuit: inverse gates in reverse order.
+    pub fn inverse(&self) -> Circuit {
+        let mut inv = Circuit::new(self.num_qubits);
+        for op in self.ops.iter().rev() {
+            inv.push(op.gate.inverse(), &op.qubits);
+        }
+        inv
+    }
+
+    /// Counts operations by gate name.
+    pub fn count_gate(&self, name: &str) -> usize {
+        self.ops.iter().filter(|op| op.gate.name() == name).count()
+    }
+
+    /// Counts two-qubit operations — the paper's Table 2 cost unit.
+    pub fn two_qubit_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.gate.arity() == 2).count()
+    }
+
+    /// Circuit depth: longest path in qubit-dependency order.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits as usize];
+        for op in &self.ops {
+            let l = op.qubits.iter().map(|&q| level[q as usize]).max().unwrap_or(0) + 1;
+            for &q in &op.qubits {
+                level[q as usize] = l;
+            }
+        }
+        level.into_iter().max().unwrap_or(0)
+    }
+
+    /// Applies the circuit to a state vector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the register is narrower than the circuit or contains
+    /// non-qubit subsystems while the circuit has qubit gates.
+    pub fn apply_to(&self, state: &mut StateVector) {
+        assert!(
+            state.num_subsystems() >= self.num_qubits as usize,
+            "register narrower than circuit"
+        );
+        for op in &self.ops {
+            let targets: Vec<usize> = op.qubits.iter().map(|&q| q as usize).collect();
+            state.apply_unitary(&op.gate.matrix(), &targets);
+        }
+    }
+
+    /// Runs the circuit on `|0…0⟩` and returns the final state.
+    pub fn simulate(&self) -> StateVector {
+        let mut psi = StateVector::zero_qubits(self.num_qubits as usize);
+        self.apply_to(&mut psi);
+        psi
+    }
+
+    /// The circuit's full unitary matrix (dimension `2^n`); practical for
+    /// small `n`.
+    pub fn unitary(&self) -> CMat {
+        let dims = vec![2usize; self.num_qubits as usize];
+        let mut u = CMat::identity(1 << self.num_qubits);
+        for op in &self.ops {
+            let targets: Vec<usize> = op.qubits.iter().map(|&q| q as usize).collect();
+            let full = embed(&op.gate.matrix(), &targets, &dims);
+            u = &full * &u;
+        }
+        u
+    }
+
+    /// Ideal output distribution over basis states from `|0…0⟩`.
+    pub fn output_distribution(&self) -> Vec<f64> {
+        self.simulate().probabilities()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit({} qubits) {{", self.num_qubits)?;
+        for op in &self.ops {
+            writeln!(f, "  {op};")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant_sim::gates as g;
+
+    #[test]
+    fn builder_and_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2).rz(2, 0.4).zz(0, 2, 0.7);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.two_qubit_count(), 3);
+        assert_eq!(c.count_gate("cx"), 2);
+        // h → cnot01 → cnot12 → rz(2) → zz(0,2): the zz waits on the rz.
+        assert_eq!(c.depth(), 5);
+    }
+
+    #[test]
+    fn ghz_distribution() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2);
+        let p = c.output_distribution();
+        assert!((p[0] - 0.5).abs() < 1e-10);
+        assert!((p[7] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn unitary_of_bell_pair() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let u = c.unitary();
+        // Column 0 = (|00⟩ + |11⟩)/√2.
+        assert!((u[(0, 0)].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((u[(3, 0)].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn inverse_restores_identity() {
+        let mut c = Circuit::new(2);
+        c.h(0).rz(0, 0.3).cnot(0, 1).ry(1, -0.8).zz(0, 1, 0.55);
+        let mut full = c.clone();
+        full.extend(&c.inverse());
+        let u = full.unitary();
+        assert!(u.phase_invariant_diff(&CMat::identity(4)) < 1e-9);
+    }
+
+    #[test]
+    fn apply_matches_unitary() {
+        let mut c = Circuit::new(2);
+        c.h(1).cnot(1, 0).rx(0, 0.9);
+        let psi = c.simulate();
+        let u = c.unitary();
+        let from_unitary = u.mul_vec(&{
+            let mut v = vec![quant_math::C64::ZERO; 4];
+            v[0] = quant_math::C64::ONE;
+            v
+        });
+        for (a, b) in psi.amplitudes().iter().zip(&from_unitary) {
+            assert!(a.approx_eq(*b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn zz_via_textbook_decomposition() {
+        // zz(θ) == cnot, rz(target), cnot.
+        let theta = 1.234;
+        let mut a = Circuit::new(2);
+        a.zz(0, 1, theta);
+        let mut b = Circuit::new(2);
+        b.cnot(0, 1).rz(1, theta).cnot(0, 1);
+        assert!(a.unitary().phase_invariant_diff(&b.unitary()) < 1e-10);
+        let _ = g::zz(theta);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_qubit() {
+        let mut c = Circuit::new(1);
+        c.x(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 operand")]
+    fn rejects_arity_mismatch() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot, &[0]);
+    }
+
+    #[test]
+    fn display_lists_operations() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let text = c.to_string();
+        assert!(text.contains("h q[0]"));
+        assert!(text.contains("cx q[0], q[1]"));
+    }
+}

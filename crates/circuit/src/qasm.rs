@@ -1,0 +1,375 @@
+//! A small OpenQASM 2.0 dialect: parser and printer.
+//!
+//! The paper's Table 1 places OpenQASM at the assembly stage; this module
+//! lets programs enter and leave the compiler as text. Supported subset:
+//! one quantum register, the standard single- and two-qubit gates,
+//! parameter expressions over literals and `pi` with `*`, `/` and unary
+//! minus, `barrier`, and `//` comments. `OPENQASM`/`include` headers are
+//! accepted and ignored.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::fmt;
+
+/// A parse error with its 1-based line number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QasmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+fn err(line: usize, message: impl Into<String>) -> QasmError {
+    QasmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a program in the supported OpenQASM subset.
+pub fn parse(source: &str) -> Result<Circuit, QasmError> {
+    let mut circuit: Option<Circuit> = None;
+    let mut reg_name = String::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("qreg") {
+                let rest = rest.trim();
+                let (name, size) = parse_reg(rest, line_no)?;
+                if circuit.is_some() {
+                    return Err(err(line_no, "only one quantum register is supported"));
+                }
+                reg_name = name;
+                circuit = Some(Circuit::new(size));
+                continue;
+            }
+            if stmt.starts_with("creg") || stmt.starts_with("measure") {
+                // Classical registers and measurement are accepted and
+                // ignored: this IR measures every qubit at the end.
+                continue;
+            }
+            let c = circuit
+                .as_mut()
+                .ok_or_else(|| err(line_no, "gate before qreg declaration"))?;
+            parse_gate_statement(c, &reg_name, stmt, line_no)?;
+        }
+    }
+    circuit.ok_or_else(|| err(0, "no qreg declaration found"))
+}
+
+fn parse_reg(rest: &str, line: usize) -> Result<(String, u32), QasmError> {
+    // name[size]
+    let open = rest.find('[').ok_or_else(|| err(line, "expected `[` in qreg"))?;
+    let close = rest.find(']').ok_or_else(|| err(line, "expected `]` in qreg"))?;
+    let name = rest[..open].trim().to_string();
+    let size: u32 = rest[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| err(line, "invalid register size"))?;
+    if name.is_empty() || size == 0 {
+        return Err(err(line, "invalid qreg declaration"));
+    }
+    Ok((name, size))
+}
+
+fn parse_gate_statement(
+    c: &mut Circuit,
+    reg: &str,
+    stmt: &str,
+    line: usize,
+) -> Result<(), QasmError> {
+    // gate-name [ (params) ] operand [, operand]
+    let (head, operands_text) = match stmt.find(|ch: char| ch.is_whitespace()) {
+        Some(pos) if !stmt[..pos].contains('(') && !stmt.contains('(') => {
+            (stmt[..pos].trim(), stmt[pos..].trim())
+        }
+        _ => {
+            // Parameterized form: name(p1,p2) ops — split at the closing paren.
+            if let Some(close) = stmt.find(')') {
+                (stmt[..=close].trim(), stmt[close + 1..].trim())
+            } else {
+                let pos = stmt
+                    .find(|ch: char| ch.is_whitespace())
+                    .ok_or_else(|| err(line, "malformed statement"))?;
+                (stmt[..pos].trim(), stmt[pos..].trim())
+            }
+        }
+    };
+
+    let (name, params) = if let Some(open) = head.find('(') {
+        let close = head
+            .rfind(')')
+            .ok_or_else(|| err(line, "unterminated parameter list"))?;
+        let name = head[..open].trim();
+        let params: Vec<f64> = head[open + 1..close]
+            .split(',')
+            .map(|p| parse_expr(p.trim(), line))
+            .collect::<Result<_, _>>()?;
+        (name, params)
+    } else {
+        (head, Vec::new())
+    };
+
+    let qubits: Vec<u32> = operands_text
+        .split(',')
+        .map(|op| parse_operand(op.trim(), reg, c.num_qubits(), line))
+        .collect::<Result<_, _>>()?;
+
+    let p = |i: usize| -> Result<f64, QasmError> {
+        params
+            .get(i)
+            .copied()
+            .ok_or_else(|| err(line, format!("`{name}` missing parameter {i}")))
+    };
+    let gate = match name {
+        "id" => Gate::I,
+        "x" => Gate::X,
+        "y" => Gate::Y,
+        "z" => Gate::Z,
+        "h" => Gate::H,
+        "s" => Gate::S,
+        "sdg" => Gate::Sdg,
+        "t" => Gate::T,
+        "tdg" => Gate::Tdg,
+        "rx" => Gate::Rx(p(0)?),
+        "ry" => Gate::Ry(p(0)?),
+        "rz" | "u1" => Gate::Rz(p(0)?),
+        "u3" => Gate::U3(p(0)?, p(1)?, p(2)?),
+        "cx" | "CX" => Gate::Cnot,
+        "cz" => Gate::Cz,
+        "swap" => Gate::Swap,
+        "iswap" => Gate::ISwap,
+        "rzz" | "zz" => Gate::Zz(p(0)?),
+        "barrier" => {
+            // Barrier on each listed qubit.
+            for &q in &qubits {
+                c.push(Gate::Barrier, &[q]);
+            }
+            return Ok(());
+        }
+        other => return Err(err(line, format!("unsupported gate `{other}`"))),
+    };
+    if qubits.len() != gate.arity() {
+        return Err(err(
+            line,
+            format!(
+                "`{name}` expects {} operand(s), got {}",
+                gate.arity(),
+                qubits.len()
+            ),
+        ));
+    }
+    c.push(gate, &qubits);
+    Ok(())
+}
+
+fn parse_operand(op: &str, reg: &str, n: u32, line: usize) -> Result<u32, QasmError> {
+    let open = op
+        .find('[')
+        .ok_or_else(|| err(line, format!("expected indexed operand, got `{op}`")))?;
+    let close = op
+        .find(']')
+        .ok_or_else(|| err(line, "unterminated operand index"))?;
+    let name = op[..open].trim();
+    if name != reg {
+        return Err(err(line, format!("unknown register `{name}`")));
+    }
+    let q: u32 = op[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| err(line, "invalid qubit index"))?;
+    if q >= n {
+        return Err(err(line, format!("qubit index {q} out of range (size {n})")));
+    }
+    Ok(q)
+}
+
+/// Parses a parameter expression: products/quotients of signed literals and
+/// `pi` (e.g. `pi/2`, `-3*pi/4`, `0.25`).
+fn parse_expr(text: &str, line: usize) -> Result<f64, QasmError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(err(line, "empty parameter expression"));
+    }
+    // Tokenize into factors around * and /.
+    let mut value = 1.0_f64;
+    let mut negate = false;
+    let mut rest = text;
+    if let Some(stripped) = rest.strip_prefix('-') {
+        negate = true;
+        rest = stripped.trim_start();
+    } else if let Some(stripped) = rest.strip_prefix('+') {
+        rest = stripped.trim_start();
+    }
+    let mut op = '*';
+    for token in tokenize_factors(rest) {
+        let token = token.trim();
+        match token {
+            "*" | "/" => op = token.chars().next().unwrap(),
+            _ => {
+                let v = if token == "pi" {
+                    std::f64::consts::PI
+                } else {
+                    token
+                        .parse::<f64>()
+                        .map_err(|_| err(line, format!("invalid number `{token}`")))?
+                };
+                match op {
+                    '*' => value *= v,
+                    '/' => value /= v,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+    Ok(if negate { -value } else { value })
+}
+
+fn tokenize_factors(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch == '*' || ch == '/' {
+            if !cur.trim().is_empty() {
+                out.push(cur.trim().to_string());
+            }
+            out.push(ch.to_string());
+            cur.clear();
+        } else {
+            cur.push(ch);
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+/// Prints a circuit in the supported dialect.
+pub fn print(circuit: &Circuit) -> String {
+    let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits()));
+    for op in circuit.ops() {
+        let operands: Vec<String> = op.qubits.iter().map(|q| format!("q[{q}]")).collect();
+        let operands = operands.join(", ");
+        let stmt = match op.gate {
+            Gate::Rx(t) => format!("rx({t}) {operands}"),
+            Gate::Ry(t) => format!("ry({t}) {operands}"),
+            Gate::Rz(t) => format!("rz({t}) {operands}"),
+            Gate::U3(t, p, l) => format!("u3({t},{p},{l}) {operands}"),
+            Gate::Zz(t) => format!("rzz({t}) {operands}"),
+            Gate::Cnot => format!("cx {operands}"),
+            ref g => format!("{} {operands}", g.name()),
+        };
+        out.push_str(&stmt);
+        out.push_str(";\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bell_program() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[2];
+            h q[0];
+            cx q[0], q[1];
+        "#;
+        let c = parse(src).unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.len(), 2);
+        let p = c.output_distribution();
+        assert!((p[0] - 0.5).abs() < 1e-10 && (p[3] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn parse_parameter_expressions() {
+        let src = "qreg q[1]; rx(pi/2) q[0]; rz(-3*pi/4) q[0]; ry(0.25) q[0];";
+        let c = parse(src).unwrap();
+        assert_eq!(c.ops()[0].gate, Gate::Rx(std::f64::consts::FRAC_PI_2));
+        assert_eq!(
+            c.ops()[1].gate,
+            Gate::Rz(-3.0 * std::f64::consts::FRAC_PI_4)
+        );
+        assert_eq!(c.ops()[2].gate, Gate::Ry(0.25));
+    }
+
+    #[test]
+    fn parse_comments_and_blank_lines() {
+        let src = "// header\nqreg q[1];\n\nx q[0]; // flip\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn parse_u3_and_rzz() {
+        let src = "qreg q[2]; u3(pi/2, 0, pi) q[0]; rzz(0.8) q[0], q[1];";
+        let c = parse(src).unwrap();
+        assert!(matches!(c.ops()[0].gate, Gate::U3(..)));
+        assert_eq!(c.ops()[1].gate, Gate::Zz(0.8));
+    }
+
+    #[test]
+    fn round_trip_through_printer() {
+        let src = "qreg q[3]; h q[0]; cx q[0], q[1]; rzz(0.7) q[1], q[2]; rx(1.25) q[2]; barrier q[0];";
+        let c = parse(src).unwrap();
+        let printed = print(&c);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(c, reparsed);
+        assert!(
+            c.unitary().phase_invariant_diff(&reparsed.unitary()) < 1e-12
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("qreg q[2];\nfrobnicate q[0];").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = parse("qreg q[1];\nx q[3];").unwrap_err();
+        assert!(e.message.contains("out of range"));
+
+        let e = parse("x q[0];").unwrap_err();
+        assert!(e.message.contains("before qreg"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let e = parse("qreg q[2]; cx q[0];").unwrap_err();
+        assert!(e.message.contains("expects 2"));
+    }
+
+    #[test]
+    fn measure_and_creg_ignored() {
+        let src = "qreg q[1]; creg c[1]; x q[0]; measure q[0] -> c[0];";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+}

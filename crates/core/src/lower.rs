@@ -1,0 +1,568 @@
+//! Lowering: basis-gate circuits → pulse programs.
+//!
+//! This is the paper's final compilation stage (Table 1, row 4). The
+//! lowering pass owns the **virtual-Z frame** of every qubit: `Rz` gates
+//! cost nothing — they advance the frame — and every emitted pulse is
+//! rotated by the frame in effect when it plays (McKay et al.'s virtual-Z
+//! scheme). Frames are *baked into the waveform samples* of single-qubit
+//! pulses and prepended as `ShiftPhase`s to two-qubit blocks, so the
+//! executor never needs cross-block frame state.
+//!
+//! With `PulseCancellation` enabled (the paper's Optimization 2), a
+//! `DirectX` on a CNOT/CR control qubit immediately before the block is
+//! absorbed into the block's leading echo X pulse.
+
+use quant_circuit::{Circuit, Gate};
+use quant_device::{Block, Calibration, DeviceModel, LoweredProgram};
+use quant_math::C64;
+use quant_pulse::{Channel, Instruction, Schedule, Waveform};
+use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+/// Errors from lowering.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LowerError {
+    /// A gate reached lowering that is not in a lowered basis set.
+    UnsupportedGate(String),
+    /// A two-qubit gate addressed a pair with no CR coupling.
+    UncoupledPair(u32, u32),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::UnsupportedGate(g) => {
+                write!(f, "gate `{g}` cannot be lowered; translate to a basis set first")
+            }
+            LowerError::UncoupledPair(a, b) => {
+                write!(f, "qubits {a} and {b} are not coupled on this device")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Options controlling lowering.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LowerOptions {
+    /// Enable the cross-gate pulse cancellation peephole (Optimization 2).
+    pub pulse_cancellation: bool,
+}
+
+/// The lowering context.
+pub struct Lowering<'a> {
+    device: &'a DeviceModel,
+    calibration: &'a Calibration,
+    options: LowerOptions,
+}
+
+impl<'a> Lowering<'a> {
+    /// Creates a lowering context.
+    pub fn new(
+        device: &'a DeviceModel,
+        calibration: &'a Calibration,
+        options: LowerOptions,
+    ) -> Self {
+        Lowering {
+            device,
+            calibration,
+            options,
+        }
+    }
+
+    /// Lowers a basis-gate circuit into an executable pulse program.
+    ///
+    /// Accepted gates: `Rz`, `U3` (standard two-pulse form), `DirectX`,
+    /// `DirectRx`, `Cnot`, `Cr`. Anything else is a [`LowerError`].
+    pub fn lower(&self, circuit: &Circuit) -> Result<LoweredProgram, LowerError> {
+        let n = circuit.num_qubits();
+        let mut frames = vec![0.0_f64; n as usize];
+        let mut blocks: Vec<Block> = Vec::new();
+
+        let ops = circuit.ops();
+        let mut i = 0usize;
+        while i < ops.len() {
+            let op = &ops[i];
+            match op.gate {
+                Gate::I | Gate::Barrier => {}
+                Gate::Rz(lambda) => {
+                    frames[op.qubits[0] as usize] += -lambda;
+                }
+                Gate::U3(theta, phi, lambda) => {
+                    // Eq. 2 analog: U3 = Rz(φ+π)·Rx90·Rz(θ+π)·Rx90·Rz(λ).
+                    let q = op.qubits[0];
+                    let mut waveforms = Vec::with_capacity(2);
+                    frames[q as usize] += -lambda;
+                    self.emit_rx90(q, &mut frames, &mut waveforms);
+                    frames[q as usize] += -(theta + PI);
+                    self.emit_rx90(q, &mut frames, &mut waveforms);
+                    frames[q as usize] += -(phi + PI);
+                    blocks.push(Block::Gate1Q { qubit: q, waveforms });
+                }
+                Gate::DirectX => {
+                    let q = op.qubits[0];
+                    let cal = self.calibration.qubit(q);
+                    let (a, c) = cal.rx180_phase;
+                    let phase = frames[q as usize] + c;
+                    let w = cal
+                        .rx180_waveform(format!("x_d{q}"))
+                        .scaled_complex(C64::cis(phase));
+                    frames[q as usize] += a + c;
+                    blocks.push(Block::Gate1Q {
+                        qubit: q,
+                        waveforms: vec![w],
+                    });
+                }
+                Gate::DirectRx(theta) => {
+                    let q = op.qubits[0];
+                    let theta = normalize_angle(theta);
+                    if theta.abs() < 1e-12 {
+                        i += 1;
+                        continue;
+                    }
+                    let cal = self.calibration.qubit(q);
+                    let (a, c) = cal.direct_rx_phase(theta);
+                    let phase = frames[q as usize] + c;
+                    let w = cal
+                        .direct_rx_waveform(theta, format!("rx({theta:.3})_d{q}"))
+                        .scaled_complex(C64::cis(phase));
+                    frames[q as usize] += a + c;
+                    blocks.push(Block::Gate1Q {
+                        qubit: q,
+                        waveforms: vec![w],
+                    });
+                }
+                Gate::Cnot | Gate::Cr(_) => {
+                    let (control, target) = (op.qubits[0], op.qubits[1]);
+                    // Optimization 2 peephole: was the previous block a
+                    // lone DirectX on this control?
+                    let cancel = self.options.pulse_cancellation
+                        && matches!(op.gate, Gate::Cnot | Gate::Cr(_))
+                        && pop_cancellable_x(&mut blocks, control);
+                    let mut schedule = match op.gate {
+                        Gate::Cnot => self.cnot_schedule(control, target, cancel)?,
+                        Gate::Cr(theta) => {
+                            let s = if cancel {
+                                self.calibration.echoed_cr_schedule_cancelled(
+                                    self.device,
+                                    control,
+                                    target,
+                                    theta,
+                                )
+                            } else {
+                                self.calibration.echoed_cr_schedule(
+                                    self.device,
+                                    control,
+                                    target,
+                                    theta,
+                                )
+                            };
+                            s.ok_or(LowerError::UncoupledPair(control, target))?
+                        }
+                        _ => unreachable!(),
+                    };
+                    // Entry frames (before every t = 0 pulse), then harvest
+                    // the block's net frame advance per drive channel: the
+                    // prepended entry phase equals the old tracker value,
+                    // so the net sum *is* the new tracker value.
+                    //
+                    // The *target's* frame must also rotate the CR control
+                    // channel: the CR pulse drives at the target qubit's
+                    // frequency, so its X axis lives in the target's frame
+                    // (Qiskit shifts every channel in the qubit's channel
+                    // group for exactly this reason).
+                    let u_ch = self
+                        .device
+                        .control_channel(control, target)
+                        .ok_or(LowerError::UncoupledPair(control, target))?;
+                    if frames[target as usize] != 0.0 {
+                        schedule.prepend(Instruction::ShiftPhase {
+                            phase: frames[target as usize],
+                            channel: u_ch,
+                        });
+                    }
+                    for &q in &[control, target] {
+                        let phase = frames[q as usize];
+                        if phase != 0.0 {
+                            schedule.prepend(Instruction::ShiftPhase {
+                                phase,
+                                channel: Channel::Drive(q),
+                            });
+                        }
+                    }
+                    for &q in &[control, target] {
+                        frames[q as usize] = net_phase(&schedule, Channel::Drive(q));
+                    }
+                    blocks.push(Block::Gate2Q {
+                        control,
+                        target,
+                        schedule,
+                    });
+                }
+                ref other => {
+                    return Err(LowerError::UnsupportedGate(other.to_string()));
+                }
+            }
+            i += 1;
+        }
+
+        // Rebuild the display schedule from the final block list (blocks
+        // may have been popped by the cancellation peephole).
+        let mut display = Schedule::new("program");
+        for block in &blocks {
+            match block {
+                Block::Gate1Q { qubit, waveforms } => {
+                    for w in waveforms {
+                        display.append(Instruction::Play {
+                            waveform: w.clone(),
+                            channel: Channel::Drive(*qubit),
+                        });
+                    }
+                }
+                Block::Gate2Q {
+                    control,
+                    target,
+                    schedule,
+                } => {
+                    // Align after *all* channels associated with the pair,
+                    // not just the ones the block plays on — a CR echo has
+                    // no target-drive pulses, but the executor still
+                    // synchronizes both qubits at the block boundary.
+                    let mut barrier = schedule.channels();
+                    barrier.push(Channel::Drive(*control));
+                    barrier.push(Channel::Drive(*target));
+                    let offset = barrier
+                        .iter()
+                        .map(|&ch| display.channel_duration(ch))
+                        .max()
+                        .unwrap_or(0);
+                    display.insert_schedule(offset, schedule);
+                    // Occupy both qubits' drive channels to the block end
+                    // so later gates on either qubit cannot overlap it.
+                    let end = offset + schedule.duration();
+                    for &q in &[*control, *target] {
+                        let busy = display.channel_duration(Channel::Drive(q));
+                        if busy < end {
+                            display.insert(
+                                busy,
+                                Instruction::Delay {
+                                    duration: end - busy,
+                                    channel: Channel::Drive(q),
+                                },
+                            );
+                        }
+                    }
+                }
+                Block::Idle { qubit, duration } => display.append(Instruction::Delay {
+                    duration: *duration,
+                    channel: Channel::Drive(*qubit),
+                }),
+            }
+        }
+
+        Ok(LoweredProgram {
+            num_qubits: n,
+            blocks,
+            schedule: display,
+        })
+    }
+
+    /// Emits one rx90 pulse at the current frame, updating the frame with
+    /// the pulse's phase-correction wrapper.
+    fn emit_rx90(&self, q: u32, frames: &mut [f64], out: &mut Vec<Waveform>) {
+        let cal = self.calibration.qubit(q);
+        let (a, c) = cal.rx90_phase;
+        let phase = frames[q as usize] + c;
+        out.push(
+            cal.rx90_waveform(format!("rx90_d{q}"))
+                .scaled_complex(C64::cis(phase)),
+        );
+        frames[q as usize] += a + c;
+    }
+
+    /// CNOT = Rz_c(90°)·Rx90_t·CR(−90°): the echoed block plus a target
+    /// rx90 and a virtual Z on the control (already part of the cmd_def
+    /// entry, which we rebuild here so the cancellation variant is
+    /// available).
+    fn cnot_schedule(
+        &self,
+        control: u32,
+        target: u32,
+        cancel_leading_x: bool,
+    ) -> Result<Schedule, LowerError> {
+        let mut s = if cancel_leading_x {
+            self.calibration
+                .echoed_cr_schedule_cancelled(self.device, control, target, -FRAC_PI_2)
+        } else {
+            self.calibration
+                .echoed_cr_schedule(self.device, control, target, -FRAC_PI_2)
+        }
+        .ok_or(LowerError::UncoupledPair(control, target))?;
+        let barrier = [
+            Channel::Drive(control),
+            Channel::Drive(target),
+            self.device
+                .control_channel(control, target)
+                .ok_or(LowerError::UncoupledPair(control, target))?,
+        ];
+        self.calibration.qubit(target).append_rx90(
+            &mut s,
+            Channel::Drive(target),
+            &barrier,
+            &format!("rx90_d{target}"),
+        );
+        // Virtual Rz(90°) on the control.
+        s.append(Instruction::ShiftPhase {
+            phase: -FRAC_PI_2,
+            channel: Channel::Drive(control),
+        });
+        Ok(s.named(format!("cx q{control},q{target}")))
+    }
+}
+
+/// Reduces an angle to `(−π, π]`.
+fn normalize_angle(theta: f64) -> f64 {
+    let mut t = theta.rem_euclid(TAU);
+    if t > PI {
+        t -= TAU;
+    }
+    t
+}
+
+/// Sum of all `ShiftPhase` instructions on one channel of a schedule.
+fn net_phase(schedule: &Schedule, channel: Channel) -> f64 {
+    schedule
+        .instructions()
+        .iter()
+        .filter_map(|ti| match &ti.instruction {
+            Instruction::ShiftPhase { phase, channel: ch } if *ch == channel => Some(*phase),
+            _ => None,
+        })
+        .sum()
+}
+
+/// If the last block is a single-waveform `Gate1Q` on `qubit` that is an
+/// X-like pulse (the DirectX form), pop it and return true.
+fn pop_cancellable_x(blocks: &mut Vec<Block>, qubit: u32) -> bool {
+    let cancellable = matches!(
+        blocks.last(),
+        Some(Block::Gate1Q { qubit: q, waveforms })
+            if *q == qubit
+                && waveforms.len() == 1
+                && waveforms[0].name().starts_with(&format!("x_d{qubit}"))
+    );
+    if cancellable {
+        blocks.pop();
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::{to_basis, BasisKind};
+    use quant_device::{calibrate, PulseExecutor};
+    use quant_math::seeded;
+
+    struct Ctx {
+        device: DeviceModel,
+        calibration: Calibration,
+    }
+
+    fn ctx(n: usize) -> Ctx {
+        let device = DeviceModel::ideal(n);
+        let mut rng = seeded(42);
+        let calibration = calibrate(&device, &mut rng);
+        Ctx {
+            device,
+            calibration,
+        }
+    }
+
+    fn lower_and_run(
+        ctx: &Ctx,
+        circuit: &Circuit,
+        kind: BasisKind,
+        cancellation: bool,
+    ) -> (Vec<f64>, LoweredProgram) {
+        let basis = to_basis(circuit, kind);
+        let lowering = Lowering::new(
+            &ctx.device,
+            &ctx.calibration,
+            LowerOptions {
+                pulse_cancellation: cancellation,
+            },
+        );
+        let program = lowering.lower(&basis).expect("lowering failed");
+        let exec = PulseExecutor::noiseless(&ctx.device);
+        let mut rng = seeded(7);
+        let out = exec.run(&program, &mut rng);
+        (out.probabilities, program)
+    }
+
+    fn assert_distribution(ctx: &Ctx, circuit: &Circuit, kind: BasisKind, tol: f64) {
+        let ideal = circuit.output_distribution();
+        let (got, _) = lower_and_run(ctx, circuit, kind, kind == BasisKind::Augmented);
+        for (i, (a, b)) in ideal.iter().zip(&got).enumerate() {
+            assert!(
+                (a - b).abs() < tol,
+                "{kind:?} outcome {i}: ideal {a:.4} vs pulse {b:.4}\n{circuit}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_x_both_flows() {
+        let c1 = ctx(1);
+        let mut c = Circuit::new(1);
+        c.x(0);
+        assert_distribution(&c1, &c, BasisKind::Standard, 0.01);
+        assert_distribution(&c1, &c, BasisKind::Augmented, 0.01);
+    }
+
+    #[test]
+    fn direct_x_half_the_duration() {
+        let c1 = ctx(1);
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let (_, std) = lower_and_run(&c1, &c, BasisKind::Standard, false);
+        let (_, aug) = lower_and_run(&c1, &c, BasisKind::Augmented, false);
+        // Fig. 4: standard X = 2 pulses, DirectX = 1 pulse, half duration.
+        assert_eq!(std.pulse_count(), 2);
+        assert_eq!(aug.pulse_count(), 1);
+        assert_eq!(std.duration(), 2 * aug.duration());
+    }
+
+    #[test]
+    fn lower_hadamard_superposition() {
+        let c1 = ctx(1);
+        let mut c = Circuit::new(1);
+        c.h(0);
+        assert_distribution(&c1, &c, BasisKind::Standard, 0.01);
+        assert_distribution(&c1, &c, BasisKind::Augmented, 0.01);
+    }
+
+    #[test]
+    fn lower_rotation_sweep() {
+        let c1 = ctx(1);
+        for k in 1..8 {
+            let theta = k as f64 * 0.41;
+            let mut c = Circuit::new(1);
+            c.rx(0, theta).ry(0, -theta / 2.0).rz(0, 0.3).rx(0, 0.2);
+            assert_distribution(&c1, &c, BasisKind::Standard, 0.01);
+            assert_distribution(&c1, &c, BasisKind::Augmented, 0.01);
+        }
+    }
+
+    #[test]
+    fn virtual_z_frames_thread_through_pulses() {
+        // Rz between rotations must change the outcome correctly.
+        let c1 = ctx(1);
+        let mut c = Circuit::new(1);
+        c.rx(0, FRAC_PI_2).rz(0, FRAC_PI_2).rx(0, FRAC_PI_2);
+        // This is Rx90·Rz90·Rx90: |0⟩ → superposition with p1 = 0.5.
+        assert_distribution(&c1, &c, BasisKind::Standard, 0.01);
+        assert_distribution(&c1, &c, BasisKind::Augmented, 0.01);
+    }
+
+    #[test]
+    fn lower_bell_pair() {
+        let c2 = ctx(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        assert_distribution(&c2, &c, BasisKind::Standard, 0.03);
+        assert_distribution(&c2, &c, BasisKind::Augmented, 0.03);
+    }
+
+    #[test]
+    fn lower_zz_interaction_both_flows() {
+        let c2 = ctx(2);
+        for theta in [0.3, 0.9, FRAC_PI_2] {
+            let mut c = Circuit::new(2);
+            c.h(0).h(1).zz(0, 1, theta).h(0).h(1);
+            // The standard flow uses two full CNOTs; each carries ~1–2 %
+            // coherent error even on the drift-free device (as real CNOTs
+            // do), so its tolerance is wider than the single-CR optimized
+            // flow's.
+            assert_distribution(&c2, &c, BasisKind::Standard, 0.07);
+            assert_distribution(&c2, &c, BasisKind::Augmented, 0.035);
+        }
+    }
+
+    #[test]
+    fn optimized_zz_is_shorter() {
+        // Optimization 3: ZZ via one stretched CR beats two CNOTs.
+        let c2 = ctx(2);
+        let mut c = Circuit::new(2);
+        c.zz(0, 1, 0.6);
+        let (_, std) = lower_and_run(&c2, &c, BasisKind::Standard, false);
+        let (_, aug) = lower_and_run(&c2, &c, BasisKind::Augmented, false);
+        assert!(
+            aug.duration() * 3 < std.duration() * 2,
+            "expected ≥1.5× speedup: std {} vs aug {}",
+            std.duration(),
+            aug.duration()
+        );
+    }
+
+    #[test]
+    fn open_cnot_cancellation_shortens_schedule() {
+        // Fig. 8: open-CNOT with cancellation is ~24 % shorter.
+        let c2 = ctx(2);
+        let mut c = Circuit::new(2);
+        c.push(Gate::OpenCnot, &[0, 1]);
+        let basis = to_basis(&c, BasisKind::Augmented);
+        let mk = |cancel: bool| {
+            Lowering::new(
+                &c2.device,
+                &c2.calibration,
+                LowerOptions {
+                    pulse_cancellation: cancel,
+                },
+            )
+            .lower(&basis)
+            .unwrap()
+        };
+        let plain = mk(false);
+        let cancelled = mk(true);
+        assert!(
+            cancelled.duration() < plain.duration(),
+            "cancellation should shorten: {} vs {}",
+            cancelled.duration(),
+            plain.duration()
+        );
+        assert_eq!(cancelled.pulse_count(), plain.pulse_count() - 2);
+        // And the distribution is still the open-CNOT's: |00⟩ → |10⟩…
+        let exec = PulseExecutor::noiseless(&c2.device);
+        let mut rng = seeded(3);
+        let out = exec.run(&cancelled, &mut rng);
+        // open-CNOT on |00⟩: control 0 is |0⟩ → target flips → index 2.
+        assert!(out.probabilities[2] > 0.95, "p = {:?}", out.probabilities);
+    }
+
+    #[test]
+    fn rejects_untranslated_gates() {
+        let c2 = ctx(2);
+        let mut c = Circuit::new(2);
+        c.push(Gate::Swap, &[0, 1]);
+        let lowering = Lowering::new(&c2.device, &c2.calibration, LowerOptions::default());
+        assert!(matches!(
+            lowering.lower(&c),
+            Err(LowerError::UnsupportedGate(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_uncoupled_pairs() {
+        let c3 = ctx(3);
+        let mut c = Circuit::new(3);
+        c.cnot(0, 2);
+        let lowering = Lowering::new(&c3.device, &c3.calibration, LowerOptions::default());
+        assert!(matches!(
+            lowering.lower(&c),
+            Err(LowerError::UncoupledPair(0, 2))
+        ));
+    }
+}

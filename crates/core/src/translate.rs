@@ -1,0 +1,333 @@
+//! Basis-gate translation: assembly → standard or augmented basis.
+//!
+//! The **standard basis** is what IBM's stock compiler targets: `{Rz, U3,
+//! CNOT}`, with every U3 lowered to two `Rx(90°)` pulses via the ZXZXZ
+//! identity (the paper's Eq. 2; in this crate's rotation conventions:
+//! `U3(θ,φ,λ) = Rz(φ+π)·Rx90·Rz(θ+π)·Rx90·Rz(λ)`).
+//!
+//! The **augmented basis** adds the paper's pulse-backed gates: `DirectX`,
+//! `DirectRx(θ)` (single amplitude-scaled pulse, Eq. 3:
+//! `U3(θ,φ,λ) = Rz(φ+π/2)·Rx(θ)·Rz(λ−π/2)`), and the parametrized `CR(θ)`
+//! reached by horizontally stretching the calibrated echo.
+
+use quant_circuit::{Circuit, Gate};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Which basis-gate set to translate into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BasisKind {
+    /// `{Rz, U3, CNOT}` — two `Rx90` pulses per single-qubit gate.
+    Standard,
+    /// `{Rz, DirectRx(θ), DirectX, CR(θ), CNOT}` — the paper's augmented set.
+    Augmented,
+}
+
+/// Rewrites every gate into the chosen basis. The output contains only:
+///
+/// * `Standard`: `Rz`, `U3`, `Cnot`
+/// * `Augmented`: `Rz`, `DirectRx`, `DirectX`, `Cr`, `Cnot`
+pub fn to_basis(circuit: &Circuit, kind: BasisKind) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in circuit.ops() {
+        translate_op(&mut out, op.gate, &op.qubits, kind);
+    }
+    out
+}
+
+/// Emits a single-qubit gate given as U3 angles.
+fn emit_u3(out: &mut Circuit, q: u32, theta: f64, phi: f64, lambda: f64, kind: BasisKind) {
+    match kind {
+        BasisKind::Standard => {
+            // Zero-rotation gates collapse to a virtual Z.
+            if theta.abs() < 1e-12 {
+                emit_rz(out, q, phi + lambda);
+            } else {
+                out.push(Gate::U3(theta, phi, lambda), &[q]);
+            }
+        }
+        BasisKind::Augmented => {
+            // U3(θ,φ,λ) = Rz(φ+π/2)·Rx(θ)·Rz(λ−π/2)
+            if theta.abs() < 1e-12 {
+                emit_rz(out, q, phi + lambda);
+                return;
+            }
+            emit_rz(out, q, lambda - FRAC_PI_2);
+            if (theta - PI).abs() < 1e-12 {
+                out.push(Gate::DirectX, &[q]);
+            } else {
+                out.push(Gate::DirectRx(theta), &[q]);
+            }
+            emit_rz(out, q, phi + FRAC_PI_2);
+        }
+    }
+}
+
+/// Emits an Rz, dropping angles that are multiples of 2π.
+fn emit_rz(out: &mut Circuit, q: u32, angle: f64) {
+    let reduced = angle.rem_euclid(2.0 * PI);
+    if reduced.abs() > 1e-12 && (reduced - 2.0 * PI).abs() > 1e-12 {
+        out.push(Gate::Rz(angle), &[q]);
+    }
+}
+
+fn translate_op(out: &mut Circuit, gate: Gate, qubits: &[u32], kind: BasisKind) {
+    let q = qubits[0];
+    match gate {
+        // --- single-qubit gates, expressed as U3 angles -------------------
+        Gate::I => {}
+        Gate::X => emit_u3(out, q, PI, 0.0, PI, kind),
+        Gate::Y => emit_u3(out, q, PI, FRAC_PI_2, FRAC_PI_2, kind),
+        Gate::Z => emit_rz(out, q, PI),
+        Gate::H => emit_u3(out, q, FRAC_PI_2, 0.0, PI, kind),
+        Gate::S => emit_rz(out, q, FRAC_PI_2),
+        Gate::Sdg => emit_rz(out, q, -FRAC_PI_2),
+        Gate::T => emit_rz(out, q, FRAC_PI_2 / 2.0),
+        Gate::Tdg => emit_rz(out, q, -FRAC_PI_2 / 2.0),
+        Gate::Rx(t) => emit_u3(out, q, t, -FRAC_PI_2, FRAC_PI_2, kind),
+        Gate::Ry(t) => emit_u3(out, q, t, 0.0, 0.0, kind),
+        Gate::Rz(t) => emit_rz(out, q, t),
+        Gate::U3(t, p, l) => emit_u3(out, q, t, p, l, kind),
+        Gate::DirectX => match kind {
+            BasisKind::Standard => emit_u3(out, q, PI, 0.0, PI, kind),
+            BasisKind::Augmented => {
+                out.push(Gate::DirectX, &[q]);
+            }
+        },
+        Gate::DirectRx(t) => match kind {
+            BasisKind::Standard => emit_u3(out, q, t, -FRAC_PI_2, FRAC_PI_2, kind),
+            BasisKind::Augmented => emit_u3(out, q, t, -FRAC_PI_2, FRAC_PI_2, kind),
+        },
+        Gate::Barrier => {
+            out.push(Gate::Barrier, &[q]);
+        }
+        Gate::QutritX12 | Gate::QutritX02 => panic!(
+            "qutrit subspace gates have no qubit basis translation; lower them \
+             directly to frequency-shifted pulses"
+        ),
+
+        // --- two-qubit gates ----------------------------------------------
+        Gate::Cnot => {
+            out.push(Gate::Cnot, &[qubits[0], qubits[1]]);
+        }
+        Gate::OpenCnot => {
+            // X on control, CNOT, X on control.
+            emit_u3(out, q, PI, 0.0, PI, kind);
+            out.push(Gate::Cnot, &[qubits[0], qubits[1]]);
+            emit_u3(out, q, PI, 0.0, PI, kind);
+        }
+        Gate::Cz => {
+            // H on target, CNOT, H on target.
+            emit_u3(out, qubits[1], FRAC_PI_2, 0.0, PI, kind);
+            out.push(Gate::Cnot, &[qubits[0], qubits[1]]);
+            emit_u3(out, qubits[1], FRAC_PI_2, 0.0, PI, kind);
+        }
+        Gate::Zz(t) => match kind {
+            BasisKind::Standard => {
+                // "Textbook": CNOT · Rz(θ) on target · CNOT.
+                out.push(Gate::Cnot, &[qubits[0], qubits[1]]);
+                emit_rz(out, qubits[1], t);
+                out.push(Gate::Cnot, &[qubits[0], qubits[1]]);
+            }
+            BasisKind::Augmented => {
+                // Paper §6.2: ZZ(θ) = H_t · CR(θ) · H_t exactly, since
+                // H X H = Z conjugates the CR generator Z⊗X into Z⊗Z.
+                emit_u3(out, qubits[1], FRAC_PI_2, 0.0, PI, kind);
+                out.push(Gate::Cr(t), &[qubits[0], qubits[1]]);
+                emit_u3(out, qubits[1], FRAC_PI_2, 0.0, PI, kind);
+            }
+        },
+        Gate::Swap => {
+            for (c, t) in [
+                (qubits[0], qubits[1]),
+                (qubits[1], qubits[0]),
+                (qubits[0], qubits[1]),
+            ] {
+                out.push(Gate::Cnot, &[c, t]);
+            }
+        }
+        Gate::Cr(t) => match kind {
+            BasisKind::Standard => {
+                // Standard flow has no CR access: conjugate the textbook ZZ
+                // form by H on the target (H Z H = X).
+                emit_u3(out, qubits[1], FRAC_PI_2, 0.0, PI, kind);
+                translate_op(out, Gate::Zz(t), qubits, kind);
+                emit_u3(out, qubits[1], FRAC_PI_2, 0.0, PI, kind);
+            }
+            BasisKind::Augmented => {
+                out.push(Gate::Cr(t), &[qubits[0], qubits[1]]);
+            }
+        },
+        // Remaining two-qubit gates go through their textbook CNOT + 1q
+        // forms.
+        Gate::ISwap => {
+            // iSWAP = (S⊗S)·H_a·CNOT(a,b)·CNOT(b,a)·H_b (standard identity).
+            emit_rz(out, qubits[0], FRAC_PI_2);
+            emit_rz(out, qubits[1], FRAC_PI_2);
+            emit_u3(out, qubits[0], FRAC_PI_2, 0.0, PI, kind);
+            out.push(Gate::Cnot, &[qubits[0], qubits[1]]);
+            out.push(Gate::Cnot, &[qubits[1], qubits[0]]);
+            emit_u3(out, qubits[1], FRAC_PI_2, 0.0, PI, kind);
+        }
+        Gate::SqrtISwap | Gate::BSwap | Gate::Map | Gate::FSim(..) => {
+            panic!(
+                "{} has no fixed textbook translation here; use the two-qubit \
+                 decomposer (pulse_compiler::decompose) to synthesize it",
+                gate
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant_math::CMat;
+
+    fn equivalent_up_to_final_z(a: &Circuit, b: &Circuit) -> bool {
+        // Allow a trailing virtual Z per qubit (frames that never get
+        // realized): minimize over per-qubit Z angles via coarse grid +
+        // refinement is overkill; instead compare on computational-basis
+        // *column magnitudes* and a few probe states... Simplest robust
+        // check for tests: full unitary equality up to global phase.
+        a.unitary().phase_invariant_diff(&b.unitary()) < 1e-9
+    }
+
+    fn check_both(circuit: &Circuit) {
+        for kind in [BasisKind::Standard, BasisKind::Augmented] {
+            let translated = to_basis(circuit, kind);
+            assert!(
+                equivalent_up_to_final_z(circuit, &translated),
+                "{kind:?} translation changed the unitary:\n{circuit}\n→\n{translated}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_qubit_gates_preserved() {
+        for gate in [
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.2),
+            Gate::Rz(2.2),
+            Gate::U3(0.9, 0.3, -0.8),
+        ] {
+            let mut c = Circuit::new(1);
+            c.push(gate, &[0]);
+            check_both(&c);
+        }
+    }
+
+    #[test]
+    fn two_qubit_gates_preserved() {
+        for gate in [Gate::Cnot, Gate::OpenCnot, Gate::Cz, Gate::Zz(0.77), Gate::Swap, Gate::ISwap, Gate::Cr(1.1)]
+        {
+            let mut c = Circuit::new(2);
+            c.push(gate, &[0, 1]);
+            check_both(&c);
+        }
+    }
+
+    #[test]
+    fn composite_circuit_preserved() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cnot(0, 1)
+            .zz(1, 2, 0.6)
+            .ry(2, 1.3)
+            .cz(0, 2)
+            .rx(1, -0.4)
+            .push(Gate::T, &[0]);
+        check_both(&c);
+    }
+
+    #[test]
+    fn standard_basis_gate_inventory() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).zz(0, 1, 0.5).rx(1, 0.3);
+        let t = to_basis(&c, BasisKind::Standard);
+        for op in t.ops() {
+            assert!(
+                matches!(op.gate, Gate::Rz(_) | Gate::U3(..) | Gate::Cnot),
+                "unexpected standard-basis gate {}",
+                op.gate
+            );
+        }
+    }
+
+    #[test]
+    fn augmented_basis_gate_inventory() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).zz(0, 1, 0.5).rx(1, 0.3).x(0);
+        let t = to_basis(&c, BasisKind::Augmented);
+        for op in t.ops() {
+            assert!(
+                matches!(
+                    op.gate,
+                    Gate::Rz(_) | Gate::DirectRx(_) | Gate::DirectX | Gate::Cr(_) | Gate::Cnot
+                ),
+                "unexpected augmented-basis gate {}",
+                op.gate
+            );
+        }
+        // The ZZ interaction became a CR, not two CNOTs.
+        assert_eq!(t.count_gate("cr"), 1);
+        assert_eq!(t.count_gate("cx"), 1);
+        // X became a single DirectX pulse-backed gate.
+        assert!(t.count_gate("direct_x") >= 1);
+    }
+
+    #[test]
+    fn zero_rotations_become_frame_changes_only() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::U3(0.0, 0.4, 0.3), &[0]);
+        let t = to_basis(&c, BasisKind::Standard);
+        assert_eq!(t.len(), 1);
+        assert!(matches!(t.ops()[0].gate, Gate::Rz(_)));
+    }
+
+    #[test]
+    fn augmented_uses_fewer_pulses_for_x() {
+        // Count pulse-backed gates (U3 counts as 2 pulses; DirectX as 1).
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let std = to_basis(&c, BasisKind::Standard);
+        let aug = to_basis(&c, BasisKind::Augmented);
+        let std_pulses: usize = std
+            .ops()
+            .iter()
+            .map(|op| match op.gate {
+                Gate::U3(..) => 2,
+                Gate::Rz(_) => 0,
+                _ => 1,
+            })
+            .sum();
+        let aug_pulses: usize = aug
+            .ops()
+            .iter()
+            .map(|op| match op.gate {
+                Gate::U3(..) => 2,
+                Gate::Rz(_) => 0,
+                _ => 1,
+            })
+            .sum();
+        assert_eq!(std_pulses, 2);
+        assert_eq!(aug_pulses, 1);
+    }
+
+    #[test]
+    fn zxzxz_identity_matches_u3() {
+        // The Eq. 2 analog in our conventions.
+        use quant_sim::gates::{rx, rz, u3};
+        for &(t, p, l) in &[(0.7, 1.3, -0.4), (2.1, -0.9, 0.5)] {
+            let cand = &(&(&(&rz(p + PI) * &rx(FRAC_PI_2)) * &rz(t + PI)) * &rx(FRAC_PI_2))
+                * &rz(l);
+            assert!(cand.phase_invariant_diff(&u3(t, p, l)) < 1e-9);
+        }
+        let _ = CMat::identity(2);
+    }
+}

@@ -1,0 +1,650 @@
+//! The noisy pulse executor.
+//!
+//! Consumes a [`LoweredProgram`] — the compiler's output: a sequence of
+//! per-gate schedule blocks with virtual-Z frames already resolved into the
+//! waveforms — and evolves an n-qubit density matrix through it:
+//!
+//! * every pulse is integrated against the **drifted** execution-time
+//!   device physics (coherent calibration error, §8.3 source 2),
+//! * each `Play` gets a fresh additive amplitude jitter (control
+//!   electronics noise — this is why one big pulse beats two small ones),
+//! * thermal relaxation is applied per qubit for exactly the wall-clock
+//!   time it spends, busy or idle (shorter schedules decohere less, §8.3
+//!   source 1),
+//! * single-qubit leakage out of the computational subspace is captured by
+//!   a Kraus completion of the integrated qubit block (smaller amplitudes
+//!   leak less, §8.3 source 3),
+//! * the final distribution passes through the readout confusion model.
+//!
+//! A separate single-qutrit path ([`PulseExecutor::run_qutrit`]) evolves the
+//! full 3-level density matrix and produces simulated IQ readout points for
+//! the paper's §7 counter experiment.
+
+use crate::device::DeviceModel;
+use crate::params::DT;
+use crate::readout;
+use crate::transmon::DriveState;
+use quant_math::{normal, C64, CMat};
+use quant_pulse::{Channel, Instruction, Schedule};
+use quant_sim::{channels, DensityMatrix};
+use rand::Rng;
+
+/// One lowered block: a pulse-schedule fragment implementing one gate.
+#[derive(Clone, Debug)]
+pub enum Block {
+    /// A single-qubit gate: waveforms played back-to-back on the qubit's
+    /// drive channel (frames pre-resolved).
+    Gate1Q {
+        /// Target qubit.
+        qubit: u32,
+        /// Sequential waveforms.
+        waveforms: Vec<quant_pulse::Waveform>,
+    },
+    /// A two-qubit gate: a schedule fragment over the pair's drive channels
+    /// and their CR control channel (frames pre-resolved).
+    Gate2Q {
+        /// Control qubit.
+        control: u32,
+        /// Target qubit.
+        target: u32,
+        /// The fragment (times relative to block start).
+        schedule: Schedule,
+    },
+    /// Explicit idling (NO-OP padding, as in Fig. 13's "optimized-slow").
+    Idle {
+        /// Idling qubit.
+        qubit: u32,
+        /// Duration in `dt`.
+        duration: u64,
+    },
+}
+
+impl Block {
+    /// Duration of the block in `dt`.
+    pub fn duration(&self) -> u64 {
+        match self {
+            Block::Gate1Q { waveforms, .. } => {
+                waveforms.iter().map(|w| w.duration()).sum()
+            }
+            Block::Gate2Q { schedule, .. } => schedule.duration(),
+            Block::Idle { duration, .. } => *duration,
+        }
+    }
+
+    /// Qubits the block acts on.
+    pub fn qubits(&self) -> Vec<u32> {
+        match self {
+            Block::Gate1Q { qubit, .. } | Block::Idle { qubit, .. } => vec![*qubit],
+            Block::Gate2Q {
+                control, target, ..
+            } => vec![*control, *target],
+        }
+    }
+}
+
+/// A compiled program ready for noisy execution.
+#[derive(Clone, Debug, Default)]
+pub struct LoweredProgram {
+    /// Number of qubits.
+    pub num_qubits: u32,
+    /// Gate blocks in program order.
+    pub blocks: Vec<Block>,
+    /// The full display schedule (for duration accounting and ASCII art).
+    pub schedule: Schedule,
+}
+
+impl LoweredProgram {
+    /// Total duration in `dt`, from the display schedule.
+    pub fn duration(&self) -> u64 {
+        self.schedule.duration()
+    }
+
+    /// Total number of pulses played.
+    pub fn pulse_count(&self) -> usize {
+        self.schedule.pulse_count()
+    }
+}
+
+/// Result of a noisy execution.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// Outcome distribution over `2^n` basis states, *after* readout error.
+    pub probabilities: Vec<f64>,
+    /// The pre-readout (true) distribution.
+    pub true_probabilities: Vec<f64>,
+    /// Program duration in `dt`.
+    pub duration: u64,
+}
+
+impl ExecOutcome {
+    /// Samples measurement counts from the post-readout distribution.
+    pub fn sample_counts(&self, rng: &mut impl Rng, shots: usize) -> Vec<u64> {
+        quant_math::sample_counts(rng, &self.probabilities, shots)
+    }
+}
+
+/// The executor.
+#[derive(Clone, Debug)]
+pub struct PulseExecutor<'a> {
+    device: &'a DeviceModel,
+    noisy: bool,
+}
+
+impl<'a> PulseExecutor<'a> {
+    /// An executor with the full noise model.
+    pub fn new(device: &'a DeviceModel) -> Self {
+        PulseExecutor {
+            device,
+            noisy: true,
+        }
+    }
+
+    /// An executor that integrates pulse physics but skips decoherence,
+    /// jitter and readout error (for characterizing pure pulse effects).
+    pub fn noiseless(device: &'a DeviceModel) -> Self {
+        PulseExecutor {
+            device,
+            noisy: false,
+        }
+    }
+
+    /// Runs a lowered program and returns the outcome distribution.
+    pub fn run(&self, program: &LoweredProgram, rng: &mut impl Rng) -> ExecOutcome {
+        let n = program.num_qubits as usize;
+        assert!(n >= 1 && n <= self.device.num_qubits());
+        let mut rho = DensityMatrix::zero_qubits(n);
+        // Thermal SPAM: imperfect reset leaves residual |1⟩ population that
+        // readout mitigation (a measurement-side correction) cannot remove.
+        let p_reset = self.device.reset_excited_prob();
+        if self.noisy && p_reset > 0.0 {
+            let flip = vec![
+                CMat::identity(2).scale(C64::real((1.0 - p_reset).sqrt())),
+                quant_sim::gates::x().scale(C64::real(p_reset.sqrt())),
+            ];
+            for q in 0..n {
+                rho.apply_kraus(&flip, &[q]);
+            }
+        }
+        let mut cursor = vec![0u64; n];
+
+        for block in &program.blocks {
+            match block {
+                Block::Idle { qubit, duration } => {
+                    if self.noisy {
+                        self.relax(&mut rho, *qubit, *duration);
+                    }
+                    cursor[*qubit as usize] += duration;
+                }
+                Block::Gate1Q { qubit, waveforms } => {
+                    let q = *qubit as usize;
+                    let transmon = self.device.transmon_exec(*qubit);
+                    for w in waveforms {
+                        let w = self.jittered(w, rng);
+                        let mut state = DriveState::default();
+                        let u3x3 = transmon.integrate_play(&mut state, &w);
+                        let kraus = qubit_block_kraus(&u3x3);
+                        rho.apply_kraus(&kraus, &[q]);
+                        let dur = w.duration();
+                        if self.noisy {
+                            self.relax(&mut rho, *qubit, dur);
+                        }
+                        cursor[q] += dur;
+                    }
+                }
+                Block::Gate2Q {
+                    control,
+                    target,
+                    schedule,
+                } => {
+                    let (c, t) = (*control as usize, *target as usize);
+                    // Synchronize the two qubits (ASAP alignment): the
+                    // later cursor wins; the earlier qubit idles.
+                    let start = cursor[c].max(cursor[t]);
+                    for &q in &[*control, *target] {
+                        let idle = start - cursor[q as usize];
+                        if idle > 0 && self.noisy {
+                            self.relax(&mut rho, q, idle);
+                        }
+                        cursor[q as usize] = start;
+                    }
+                    let pair = self
+                        .device
+                        .pair_exec(*control, *target)
+                        .unwrap_or_else(|| {
+                            panic!("qubits {control},{target} are not coupled")
+                        });
+                    let u_ch = self.device.control_channel(*control, *target).unwrap();
+                    let schedule = if self.noisy {
+                        jitter_schedule(schedule, self.device.pulse_amp_jitter(), rng)
+                    } else {
+                        schedule.clone()
+                    };
+                    let r = pair.integrate(
+                        &schedule,
+                        Channel::Drive(*control),
+                        Channel::Drive(*target),
+                        u_ch,
+                    );
+                    // The raw propagator is what physically happened;
+                    // leftover virtual-Z frames are compiler bookkeeping
+                    // (baked into *subsequent* pulses by the lowering pass)
+                    // and must not be realized here. Any frame pending at
+                    // the end of the program is a pure Z rotation, which a
+                    // computational-basis measurement cannot see. The qubit
+                    // block is slightly sub-unitary (|2⟩ leakage); complete
+                    // it to a CPTP channel.
+                    rho.apply_kraus(&contraction_kraus(&r.unitary), &[c, t]);
+                    let dur = schedule.duration();
+                    if self.noisy {
+                        self.relax(&mut rho, *control, dur);
+                        self.relax(&mut rho, *target, dur);
+                    }
+                    cursor[c] += dur;
+                    cursor[t] += dur;
+                }
+            }
+        }
+
+        // Trailing idle: every qubit waits for the slowest one before the
+        // simultaneous measurement.
+        let end = cursor.iter().copied().max().unwrap_or(0);
+        if self.noisy {
+            for q in 0..n as u32 {
+                let idle = end - cursor[q as usize];
+                if idle > 0 {
+                    self.relax(&mut rho, q, idle);
+                }
+            }
+        }
+
+        let true_probabilities = rho.probabilities();
+        let probabilities = if self.noisy {
+            let readouts: Vec<_> = (0..n as u32)
+                .map(|q| *self.device.readout(q))
+                .collect();
+            readout::apply_confusion(&true_probabilities, &readouts)
+        } else {
+            true_probabilities.clone()
+        };
+        ExecOutcome {
+            probabilities,
+            true_probabilities,
+            duration: end,
+        }
+    }
+
+    /// Runs a raw single-qutrit schedule (drive channel 0) on the 3-level
+    /// density matrix, returning level populations and, optionally,
+    /// sampled IQ points per shot.
+    pub fn run_qutrit(
+        &self,
+        schedule: &Schedule,
+        rng: &mut impl Rng,
+    ) -> QutritOutcome {
+        let transmon = self.device.transmon_exec(0);
+        let p = *transmon.params();
+        let mut rho = DensityMatrix::zero(&[3]);
+        let mut state = DriveState::default();
+        let mut cursor = 0u64;
+
+        let relax3 = |rho: &mut DensityMatrix, samples: u64| {
+            if !self.noisy || samples == 0 {
+                return;
+            }
+            let t = samples as f64 * DT;
+            // |2⟩ relaxes roughly twice as fast as |1⟩ in a transmon.
+            let g10 = 1.0 - (-t / p.t1).exp();
+            let g21 = 1.0 - (-t / (p.t1 / 2.0)).exp();
+            rho.apply_kraus(&channels::qutrit_relaxation(g10, g21), &[0]);
+            let inv_tphi = (1.0 / p.t2 - 1.0 / (2.0 * p.t1)).max(0.0);
+            let lambda = 1.0 - (-2.0 * t * inv_tphi).exp();
+            rho.apply_kraus(&channels::qutrit_dephasing(lambda), &[0]);
+        };
+
+        for ti in schedule.instructions() {
+            if ti.instruction.channel() != Channel::Drive(0) {
+                continue;
+            }
+            if ti.start > cursor {
+                transmon.advance_idle(&mut state, ti.start - cursor);
+                relax3(&mut rho, ti.start - cursor);
+                cursor = ti.start;
+            }
+            if transmon.apply_frame_instruction(&mut state, &ti.instruction) {
+                continue;
+            }
+            match &ti.instruction {
+                Instruction::Delay { duration, .. } => {
+                    transmon.advance_idle(&mut state, *duration);
+                    relax3(&mut rho, *duration);
+                    cursor += duration;
+                }
+                Instruction::Acquire { duration, .. } => {
+                    cursor += duration;
+                }
+                Instruction::Play { waveform, .. } => {
+                    let w = self.jittered(waveform, rng);
+                    let u = transmon.integrate_play(&mut state, &w);
+                    rho.apply_unitary(&u, &[0]);
+                    relax3(&mut rho, w.duration());
+                    cursor += w.duration();
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        QutritOutcome {
+            populations: rho.probabilities(),
+            duration: cursor,
+        }
+    }
+
+    /// Applies per-pulse additive amplitude jitter.
+    fn jittered(&self, w: &quant_pulse::Waveform, rng: &mut impl Rng) -> quant_pulse::Waveform {
+        let sigma = self.device.pulse_amp_jitter();
+        if !self.noisy || sigma == 0.0 {
+            return w.clone();
+        }
+        let peak = w.peak();
+        if peak < 1e-12 {
+            return w.clone();
+        }
+        // Additive amplitude noise ξ (absolute units) realized as a
+        // relative factor 1 + ξ/peak — large pulses are relatively cleaner.
+        let xi = normal(rng, 0.0, sigma);
+        w.scaled((1.0 + xi / peak).clamp(0.0, 1.0 / peak))
+    }
+
+    /// Thermal relaxation on one qubit for `samples` of wall-clock time.
+    fn relax(&self, rho: &mut DensityMatrix, qubit: u32, samples: u64) {
+        let p = self.device.qubit(qubit);
+        let t = samples as f64 * DT;
+        for stage in channels::thermal_relaxation(t, p.t1, p.t2) {
+            rho.apply_kraus(&stage, &[qubit as usize]);
+        }
+    }
+}
+
+/// Result of a qutrit schedule execution.
+#[derive(Clone, Debug)]
+pub struct QutritOutcome {
+    /// Populations of |0⟩, |1⟩, |2⟩.
+    pub populations: Vec<f64>,
+    /// Duration in `dt`.
+    pub duration: u64,
+}
+
+impl QutritOutcome {
+    /// Samples per-shot IQ readout points for this outcome's distribution.
+    pub fn sample_iq_shots(
+        &self,
+        device: &DeviceModel,
+        rng: &mut impl Rng,
+        shots: usize,
+    ) -> Vec<((f64, f64), usize)> {
+        let r = device.readout(0);
+        (0..shots)
+            .map(|_| {
+                let level = quant_math::categorical(rng, &self.populations);
+                (readout::sample_iq(r, level, rng), level)
+            })
+            .collect()
+    }
+}
+
+/// Returns a copy of a schedule with fresh additive amplitude jitter on
+/// every `Play`.
+fn jitter_schedule(schedule: &Schedule, sigma: f64, rng: &mut impl Rng) -> Schedule {
+    if sigma == 0.0 {
+        return schedule.clone();
+    }
+    let mut out = Schedule::new(schedule.name());
+    for ti in schedule.instructions() {
+        let instruction = match &ti.instruction {
+            Instruction::Play { waveform, channel } => {
+                let peak = waveform.peak();
+                let w = if peak < 1e-12 {
+                    waveform.clone()
+                } else {
+                    let mut factor = 1.0 + normal(rng, 0.0, sigma) / peak;
+                    // CR pulses additionally carry a calibration-transfer
+                    // error: the stretched pulse is derived from the 45°
+                    // tune-up, and the area→angle transfer on hardware is
+                    // only good to ~1.5 % (cf. the paper's Fig. 9 spread).
+                    if matches!(channel, Channel::Control(_)) {
+                        factor += normal(rng, 0.0, 0.015);
+                    }
+                    waveform.scaled(factor.clamp(0.0, 1.0 / peak))
+                };
+                Instruction::Play {
+                    waveform: w,
+                    channel: *channel,
+                }
+            }
+            other => other.clone(),
+        };
+        out.insert(ti.start, instruction);
+    }
+    out
+}
+
+/// Turns the 3-level propagator of a single-qubit pulse into a qubit-space
+/// Kraus channel: the (sub-unitary) qubit block plus completion operators.
+fn qubit_block_kraus(u3x3: &CMat) -> Vec<CMat> {
+    let b = CMat::from_rows(&[
+        &[u3x3[(0, 0)], u3x3[(0, 1)]],
+        &[u3x3[(1, 0)], u3x3[(1, 1)]],
+    ]);
+    contraction_kraus(&b)
+}
+
+/// Completes a sub-unitary contraction `B` (‖B†B‖ ≤ 1) into a CPTP Kraus
+/// set. The lost weight of each contracted direction is deposited onto the
+/// basis state where that direction has the most support — for leakage this
+/// sends the weight to the state the leaked population would be read out
+/// as.
+fn contraction_kraus(b: &CMat) -> Vec<CMat> {
+    let n = b.rows();
+    // M = I − B†B is PSD with small eigenvalues (the leaked weight).
+    let m = &CMat::identity(n) - &(&b.dagger() * b);
+    let eig = quant_math::eigh(&m);
+    let mut kraus = vec![b.clone()];
+    for (i, &lambda) in eig.values.iter().enumerate() {
+        if lambda > 1e-14 {
+            let v: Vec<C64> = (0..n).map(|r| eig.vectors[(r, i)].conj()).collect();
+            let deposit = v
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.norm_sqr().partial_cmp(&b.1.norm_sqr()).unwrap())
+                .map(|(idx, _)| idx)
+                .unwrap_or(0);
+            let mut k = CMat::zeros(n, n);
+            for (col, &vc) in v.iter().enumerate() {
+                k[(deposit, col)] = C64::real(lambda.max(0.0).sqrt()) * vc;
+            }
+            kraus.push(k);
+        }
+    }
+    kraus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::calibrate;
+    use quant_math::seeded;
+    use quant_pulse::Gaussian;
+
+    fn x_block(device: &DeviceModel, q: u32) -> Block {
+        let mut rng = seeded(99);
+        let cal = calibrate(device, &mut rng);
+        Block::Gate1Q {
+            qubit: q,
+            waveforms: vec![cal.qubit(q).rx180_waveform("x")],
+        }
+    }
+
+    #[test]
+    fn ideal_execution_flips_qubit() {
+        let device = DeviceModel::ideal(1);
+        let block = x_block(&device, 0);
+        let program = LoweredProgram {
+            num_qubits: 1,
+            blocks: vec![block],
+            schedule: Schedule::new("x"),
+        };
+        let exec = PulseExecutor::noiseless(&device);
+        let mut rng = seeded(1);
+        let out = exec.run(&program, &mut rng);
+        assert!(out.probabilities[1] > 0.999, "p = {:?}", out.probabilities);
+    }
+
+    #[test]
+    fn noisy_execution_shows_readout_error() {
+        let mut rng = seeded(2);
+        let device = DeviceModel::almaden_like(1, &mut rng);
+        let block = x_block(&device, 0);
+        let program = LoweredProgram {
+            num_qubits: 1,
+            blocks: vec![block],
+            schedule: Schedule::new("x"),
+        };
+        let exec = PulseExecutor::new(&device);
+        let out = exec.run(&program, &mut rng);
+        // True state is nearly |1⟩; readout drags ~5 % back to 0.
+        assert!(out.true_probabilities[1] > 0.98);
+        assert!(out.probabilities[1] < 0.98);
+        assert!(out.probabilities[1] > 0.90);
+    }
+
+    #[test]
+    fn idle_blocks_decohere() {
+        let mut rng = seeded(3);
+        let device = DeviceModel::almaden_like(1, &mut rng);
+        let x = x_block(&device, 0);
+        let short = LoweredProgram {
+            num_qubits: 1,
+            blocks: vec![x.clone()],
+            schedule: Schedule::new("s"),
+        };
+        // Same gate followed by a long idle (~30 µs).
+        let long = LoweredProgram {
+            num_qubits: 1,
+            blocks: vec![
+                x,
+                Block::Idle {
+                    qubit: 0,
+                    duration: 135_000,
+                },
+            ],
+            schedule: Schedule::new("l"),
+        };
+        let exec = PulseExecutor::new(&device);
+        let p_short = exec.run(&short, &mut rng).true_probabilities[1];
+        let p_long = exec.run(&long, &mut rng).true_probabilities[1];
+        assert!(
+            p_long < p_short - 0.1,
+            "idle should relax: {p_short} vs {p_long}"
+        );
+    }
+
+    #[test]
+    fn qubit_block_kraus_is_trace_preserving() {
+        // A contracting block (leakage) must still give a valid channel.
+        let device = DeviceModel::ideal(1);
+        let t = device.transmon_cal(0);
+        let w = Gaussian {
+            duration: 48,
+            amp: 0.9,
+            sigma: 12.0,
+        }
+        .waveform("leaky");
+        let mut state = DriveState::default();
+        let u = t.integrate_play(&mut state, &w);
+        let kraus = qubit_block_kraus(&u);
+        assert!(channels::is_trace_preserving(&kraus, 1e-9));
+        assert!(kraus.len() >= 2, "leaky pulse should need completion ops");
+    }
+
+    #[test]
+    fn two_qubit_block_executes_cnot() {
+        let device = DeviceModel::ideal(2);
+        let mut rng = seeded(4);
+        let cal = calibrate(&device, &mut rng);
+        let cx = cal.cmd_def().get("cx", &[0, 1]).unwrap().clone();
+        let x0 = Block::Gate1Q {
+            qubit: 0,
+            waveforms: vec![cal.qubit(0).rx180_waveform("x")],
+        };
+        let program = LoweredProgram {
+            num_qubits: 2,
+            blocks: vec![
+                x0,
+                Block::Gate2Q {
+                    control: 0,
+                    target: 1,
+                    schedule: cx,
+                },
+            ],
+            schedule: Schedule::new("bell-ish"),
+        };
+        let exec = PulseExecutor::noiseless(&device);
+        let out = exec.run(&program, &mut rng);
+        // |00⟩ → X on q0 → |01⟩(q0=1) → CNOT(0→1) → |11⟩ = index 3.
+        assert!(
+            out.probabilities[3] > 0.98,
+            "p = {:?}",
+            out.probabilities
+        );
+    }
+
+    #[test]
+    fn qutrit_run_increment() {
+        // X01 pulse then an f12-shifted pulse: |0⟩ → |1⟩ → |2⟩.
+        let device = DeviceModel::ideal(1);
+        let mut rng = seeded(5);
+        let cal = calibrate(&device, &mut rng);
+        let p = device.qubit(0);
+        let mut s = Schedule::new("q");
+        s.append(Instruction::Play {
+            waveform: cal.qubit(0).rx180_waveform("x01"),
+            channel: Channel::Drive(0),
+        });
+        s.append(Instruction::ShiftFrequency {
+            delta: p.alpha,
+            channel: Channel::Drive(0),
+        });
+        // π pulse on 1↔2: matrix element √2 stronger.
+        s.append(Instruction::Play {
+            waveform: cal
+                .qubit(0)
+                .rx180
+                .waveform("x12")
+                .scaled(1.0 / std::f64::consts::SQRT_2),
+            channel: Channel::Drive(0),
+        });
+        let exec = PulseExecutor::noiseless(&device);
+        let out = exec.run_qutrit(&s, &mut rng);
+        assert!(
+            out.populations[2] > 0.95,
+            "populations = {:?}",
+            out.populations
+        );
+    }
+
+    #[test]
+    fn iq_sampling_separates_levels() {
+        let mut rng = seeded(6);
+        let device = DeviceModel::almaden_like(1, &mut rng);
+        let outcome = QutritOutcome {
+            populations: vec![1.0, 0.0, 0.0],
+            duration: 0,
+        };
+        let shots = outcome.sample_iq_shots(&device, &mut rng, 500);
+        assert_eq!(shots.len(), 500);
+        let r = device.readout(0);
+        let mean_i: f64 =
+            shots.iter().map(|((i, _), _)| *i).sum::<f64>() / shots.len() as f64;
+        assert!((mean_i - r.iq0.0).abs() < 0.1, "mean I = {mean_i}");
+    }
+}

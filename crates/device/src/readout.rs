@@ -1,0 +1,152 @@
+//! Measurement: confusion-matrix readout error and IQ-plane simulation.
+//!
+//! Qubit measurements pass the true outcome distribution through each
+//! qubit's asymmetric confusion matrix (Almaden's mean 3.8 % assignment
+//! error, biased towards reading 0 by relaxation during the measurement
+//! window). Qutrit experiments additionally get simulated readout-resonator
+//! IQ points — Gaussian clouds per level, as in the paper's Fig. 11 left
+//! panel — which the characterization crate's linear discriminant
+//! classifies.
+
+use crate::params::ReadoutParams;
+use quant_math::normal;
+use rand::Rng;
+
+/// Passes a distribution over `2^n` outcomes through per-qubit confusion
+/// matrices. `probs[i]`'s bit `q` (little-endian) is qubit `q`'s outcome.
+pub fn apply_confusion(probs: &[f64], readouts: &[ReadoutParams]) -> Vec<f64> {
+    let n = readouts.len();
+    assert_eq!(probs.len(), 1 << n, "distribution size mismatch");
+    let mut current = probs.to_vec();
+    for (q, r) in readouts.iter().enumerate() {
+        let m = r.confusion();
+        let mut next = vec![0.0; current.len()];
+        for (i, &p) in current.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let bit = (i >> q) & 1;
+            for (measured, row) in m.iter().enumerate() {
+                let j = (i & !(1 << q)) | (measured << q);
+                next[j] += p * row[bit];
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+/// The 3×3 qutrit confusion matrix implied by the IQ cloud geometry under
+/// an ideal maximum-likelihood (nearest-centroid, equal covariance)
+/// discriminator: `M[measured][prepared]`.
+///
+/// Computed by Monte-Carlo over the Gaussian clouds; deterministic given
+/// the RNG.
+pub fn qutrit_confusion(r: &ReadoutParams, rng: &mut impl Rng, samples: usize) -> [[f64; 3]; 3] {
+    let centroids = [r.iq0, r.iq1, r.iq2];
+    let mut m = [[0.0f64; 3]; 3];
+    for (prepared, &c) in centroids.iter().enumerate() {
+        for _ in 0..samples {
+            let p = sample_iq_point(c, r.iq_sigma, rng);
+            let measured = classify_nearest(p, &centroids);
+            m[measured][prepared] += 1.0;
+        }
+        for row in m.iter_mut() {
+            row[prepared] /= samples as f64;
+        }
+    }
+    m
+}
+
+/// Samples one IQ point from the cloud of a given level.
+pub fn sample_iq(r: &ReadoutParams, level: usize, rng: &mut impl Rng) -> (f64, f64) {
+    let c = match level {
+        0 => r.iq0,
+        1 => r.iq1,
+        2 => r.iq2,
+        _ => panic!("IQ model supports levels 0–2, got {level}"),
+    };
+    sample_iq_point(c, r.iq_sigma, rng)
+}
+
+fn sample_iq_point(c: (f64, f64), sigma: f64, rng: &mut impl Rng) -> (f64, f64) {
+    (normal(rng, c.0, sigma), normal(rng, c.1, sigma))
+}
+
+/// Nearest-centroid classification (equal isotropic covariance ⇒ identical
+/// to the pooled-covariance LDA decision rule).
+pub fn classify_nearest(p: (f64, f64), centroids: &[(f64, f64)]) -> usize {
+    let mut best = (0, f64::INFINITY);
+    for (k, &c) in centroids.iter().enumerate() {
+        let d = (p.0 - c.0).powi(2) + (p.1 - c.1).powi(2);
+        if d < best.1 {
+            best = (k, d);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant_math::seeded;
+
+    fn readout() -> ReadoutParams {
+        ReadoutParams::almaden_like()
+    }
+
+    #[test]
+    fn confusion_preserves_total_probability() {
+        let probs = vec![0.1, 0.2, 0.3, 0.4];
+        let out = apply_confusion(&probs, &[readout(), readout()]);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_mixes_towards_bias() {
+        // A pure |11⟩ state should leak weight towards |01⟩/|10⟩/|00⟩,
+        // more than a pure |00⟩ leaks upward (p0_given_1 > p1_given_0).
+        let pure11 = apply_confusion(&[0.0, 0.0, 0.0, 1.0], &[readout(), readout()]);
+        let pure00 = apply_confusion(&[1.0, 0.0, 0.0, 0.0], &[readout(), readout()]);
+        assert!(pure11[3] < 1.0 && pure11[3] > 0.85);
+        assert!(pure00[0] > pure11[3], "readout is biased towards 0");
+    }
+
+    #[test]
+    fn confusion_identity_when_perfect() {
+        let perfect = ReadoutParams {
+            p1_given_0: 0.0,
+            p0_given_1: 0.0,
+            ..readout()
+        };
+        let probs = vec![0.25, 0.25, 0.25, 0.25];
+        let out = apply_confusion(&probs, &[perfect, perfect]);
+        for (a, b) in probs.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn iq_clouds_are_separable() {
+        let r = readout();
+        let mut rng = seeded(21);
+        let m = qutrit_confusion(&r, &mut rng, 20_000);
+        for prepared in 0..3 {
+            assert!(
+                m[prepared][prepared] > 0.9,
+                "level {prepared} assignment fidelity {}",
+                m[prepared][prepared]
+            );
+            let col_sum: f64 = (0..3).map(|meas| m[meas][prepared]).sum();
+            assert!((col_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn classify_nearest_basics() {
+        let cents = [(0.0, 0.0), (2.0, 0.0), (0.0, 2.0)];
+        assert_eq!(classify_nearest((0.1, 0.1), &cents), 0);
+        assert_eq!(classify_nearest((1.9, -0.2), &cents), 1);
+        assert_eq!(classify_nearest((0.2, 1.8), &cents), 2);
+    }
+}

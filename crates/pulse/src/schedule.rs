@@ -1,0 +1,572 @@
+//! Channels, instructions, and timed pulse schedules.
+//!
+//! Mirrors the OpenPulse model: a [`Schedule`] is a set of instructions with
+//! absolute start times (in `dt` units) on named [`Channel`]s. `Rz` gates
+//! compile to zero-duration [`Instruction::ShiftPhase`] frame changes
+//! (virtual-Z); qudit addressing uses [`Instruction::SetFrequency`] /
+//! [`Instruction::ShiftFrequency`] to retarget the local oscillator.
+
+use crate::waveform::Waveform;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A hardware channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Channel {
+    /// Qubit drive channel `d<q>` — resonant single-qubit microwave drive.
+    Drive(u32),
+    /// Control channel `u<k>` — cross-resonance drive (control qubit driven
+    /// at the target qubit's frequency).
+    Control(u32),
+    /// Measurement stimulus channel `m<q>`.
+    Measure(u32),
+    /// Acquisition channel `a<q>`.
+    Acquire(u32),
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Channel::Drive(q) => write!(f, "d{q}"),
+            Channel::Control(k) => write!(f, "u{k}"),
+            Channel::Measure(q) => write!(f, "m{q}"),
+            Channel::Acquire(q) => write!(f, "a{q}"),
+        }
+    }
+}
+
+/// One schedule instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instruction {
+    /// Emit a waveform on a channel.
+    Play {
+        /// The envelope to play.
+        waveform: Waveform,
+        /// Output channel.
+        channel: Channel,
+    },
+    /// Zero-duration frame change: advance the channel's phase by `phase`
+    /// radians. This is how virtual-Z gates are realized.
+    ShiftPhase {
+        /// Phase advance in radians.
+        phase: f64,
+        /// Affected channel.
+        channel: Channel,
+    },
+    /// Set the channel's local-oscillator frequency (Hz).
+    SetFrequency {
+        /// New absolute LO frequency in Hz.
+        frequency: f64,
+        /// Affected channel.
+        channel: Channel,
+    },
+    /// Shift the channel's local-oscillator frequency by `delta` Hz —
+    /// the paper's mechanism for addressing the |1⟩→|2⟩ (f12) and |0⟩→|2⟩
+    /// (f02/2) qudit transitions.
+    ShiftFrequency {
+        /// Frequency offset in Hz.
+        delta: f64,
+        /// Affected channel.
+        channel: Channel,
+    },
+    /// Idle for `duration` samples on a channel (explicit NO-OP padding, as
+    /// used by the paper's "optimized-slow" Fig. 13 variant).
+    Delay {
+        /// Idle time in `dt` samples.
+        duration: u64,
+        /// Affected channel.
+        channel: Channel,
+    },
+    /// Trigger readout of a qubit.
+    Acquire {
+        /// Measurement window in `dt` samples.
+        duration: u64,
+        /// Qubit index being read out.
+        qubit: u32,
+        /// Acquisition channel.
+        channel: Channel,
+    },
+}
+
+impl Instruction {
+    /// The channel the instruction acts on.
+    pub fn channel(&self) -> Channel {
+        match self {
+            Instruction::Play { channel, .. }
+            | Instruction::ShiftPhase { channel, .. }
+            | Instruction::SetFrequency { channel, .. }
+            | Instruction::ShiftFrequency { channel, .. }
+            | Instruction::Delay { channel, .. }
+            | Instruction::Acquire { channel, .. } => *channel,
+        }
+    }
+
+    /// Duration in `dt` samples (zero for frame/frequency changes).
+    pub fn duration(&self) -> u64 {
+        match self {
+            Instruction::Play { waveform, .. } => waveform.duration(),
+            Instruction::ShiftPhase { .. }
+            | Instruction::SetFrequency { .. }
+            | Instruction::ShiftFrequency { .. } => 0,
+            Instruction::Delay { duration, .. } | Instruction::Acquire { duration, .. } => {
+                *duration
+            }
+        }
+    }
+}
+
+/// A timed instruction within a schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedInstruction {
+    /// Absolute start time in `dt` samples.
+    pub start: u64,
+    /// The instruction.
+    pub instruction: Instruction,
+}
+
+/// A pulse schedule: instructions with absolute start times.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Schedule {
+    name: String,
+    instructions: Vec<TimedInstruction>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new(name: impl Into<String>) -> Self {
+        Schedule {
+            name: name.into(),
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Schedule name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the schedule in place, returning `self` for chaining.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// All timed instructions, sorted by start time (stable for ties).
+    pub fn instructions(&self) -> &[TimedInstruction] {
+        &self.instructions
+    }
+
+    /// Inserts an instruction at an absolute time (after any instructions
+    /// already at that time).
+    pub fn insert(&mut self, start: u64, instruction: Instruction) {
+        let pos = self
+            .instructions
+            .partition_point(|ti| ti.start <= start);
+        self.instructions.insert(pos, TimedInstruction { start, instruction });
+    }
+
+    /// Inserts an instruction at time 0, *before* everything else —
+    /// needed for entry frame changes that must precede t = 0 pulses.
+    pub fn prepend(&mut self, instruction: Instruction) {
+        self.instructions.insert(
+            0,
+            TimedInstruction {
+                start: 0,
+                instruction,
+            },
+        );
+    }
+
+    /// Appends an instruction at the current end of its channel
+    /// (left-aligned, per-channel sequencing).
+    pub fn append(&mut self, instruction: Instruction) {
+        let t = self.channel_duration(instruction.channel());
+        self.insert(t, instruction);
+    }
+
+    /// Appends an instruction after *all* channels in `barrier` have
+    /// finished — models a multi-channel barrier such as the start of a
+    /// two-qubit pulse block.
+    pub fn append_after(&mut self, instruction: Instruction, barrier: &[Channel]) {
+        let t = barrier
+            .iter()
+            .map(|&c| self.channel_duration(c))
+            .max()
+            .unwrap_or(0);
+        self.insert(t.max(self.channel_duration(instruction.channel())), instruction);
+    }
+
+    /// Appends an entire schedule, shifted so it begins after every channel
+    /// it uses has finished in `self` (Qiskit's `Schedule.append` with
+    /// left alignment).
+    pub fn append_schedule(&mut self, other: &Schedule) {
+        let offset = other
+            .channels()
+            .into_iter()
+            .map(|c| self.channel_duration(c))
+            .max()
+            .unwrap_or(0);
+        for ti in &other.instructions {
+            self.insert(offset + ti.start, ti.instruction.clone());
+        }
+    }
+
+    /// Inserts an entire schedule at an absolute offset.
+    pub fn insert_schedule(&mut self, offset: u64, other: &Schedule) {
+        for ti in &other.instructions {
+            self.insert(offset + ti.start, ti.instruction.clone());
+        }
+    }
+
+    /// Returns a copy shifted later by `offset` samples.
+    pub fn shifted(&self, offset: u64) -> Schedule {
+        Schedule {
+            name: self.name.clone(),
+            instructions: self
+                .instructions
+                .iter()
+                .map(|ti| TimedInstruction {
+                    start: ti.start + offset,
+                    instruction: ti.instruction.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total duration: the latest instruction end over all channels.
+    pub fn duration(&self) -> u64 {
+        self.instructions
+            .iter()
+            .map(|ti| ti.start + ti.instruction.duration())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// End time of the busiest point on one channel.
+    pub fn channel_duration(&self, channel: Channel) -> u64 {
+        self.instructions
+            .iter()
+            .filter(|ti| ti.instruction.channel() == channel)
+            .map(|ti| ti.start + ti.instruction.duration())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The set of channels used, sorted.
+    pub fn channels(&self) -> Vec<Channel> {
+        let mut set: Vec<Channel> = self
+            .instructions
+            .iter()
+            .map(|ti| ti.instruction.channel())
+            .collect();
+        set.sort();
+        set.dedup();
+        set
+    }
+
+    /// Number of `Play` instructions (pulse count) — the unit of §5's
+    /// cancellation accounting.
+    pub fn pulse_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|ti| matches!(ti.instruction, Instruction::Play { .. }))
+            .count()
+    }
+
+    /// Timed instructions grouped per channel, each sorted by start time.
+    pub fn per_channel(&self) -> BTreeMap<Channel, Vec<&TimedInstruction>> {
+        let mut map: BTreeMap<Channel, Vec<&TimedInstruction>> = BTreeMap::new();
+        for ti in &self.instructions {
+            map.entry(ti.instruction.channel()).or_default().push(ti);
+        }
+        map
+    }
+
+    /// Rasterizes one channel into per-`dt` complex samples over the whole
+    /// schedule duration (overlapping plays add). Frame and frequency
+    /// instructions are *not* resolved — this is the raw envelope stream,
+    /// the quantity the paper's pulse-schedule figures plot.
+    pub fn rasterize(&self, channel: Channel) -> Vec<quant_math::C64> {
+        let total = self.duration() as usize;
+        let mut samples = vec![quant_math::C64::ZERO; total];
+        for ti in self.instructions() {
+            if ti.instruction.channel() != channel {
+                continue;
+            }
+            if let Instruction::Play { waveform, .. } = &ti.instruction {
+                for (k, &s) in waveform.samples().iter().enumerate() {
+                    samples[ti.start as usize + k] += s;
+                }
+            }
+        }
+        samples
+    }
+
+    /// Exports the schedule as CSV: one row per `dt` sample, one
+    /// (re, im) column pair per channel. Paste into any plotting tool to
+    /// regenerate the paper's pulse-schedule figures graphically.
+    pub fn to_csv(&self) -> String {
+        let channels = self.channels();
+        let rasters: Vec<Vec<quant_math::C64>> = channels
+            .iter()
+            .map(|&ch| self.rasterize(ch))
+            .collect();
+        let mut out = String::from("t_dt");
+        for ch in &channels {
+            out.push_str(&format!(",{ch}_re,{ch}_im"));
+        }
+        out.push('\n');
+        for t in 0..self.duration() as usize {
+            out.push_str(&t.to_string());
+            for raster in &rasters {
+                let s = raster.get(t).copied().unwrap_or(quant_math::C64::ZERO);
+                out.push_str(&format!(",{:.6},{:.6}", s.re, s.im));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders an ASCII timeline, one row per channel — the textual stand-in
+    /// for the paper's pulse-schedule figures.
+    pub fn ascii_art(&self, cols: usize) -> String {
+        let total = self.duration().max(1);
+        let mut out = String::new();
+        for (ch, tis) in self.per_channel() {
+            let mut row = vec![b'.'; cols];
+            for ti in tis {
+                let dur = ti.instruction.duration();
+                let a = (ti.start as usize * cols) / total as usize;
+                let b = (((ti.start + dur.max(1)) as usize * cols) / total as usize)
+                    .min(cols)
+                    .max(a + 1);
+                let glyph = match ti.instruction {
+                    Instruction::Play { .. } => b'#',
+                    Instruction::ShiftPhase { .. } => b'z',
+                    Instruction::SetFrequency { .. } | Instruction::ShiftFrequency { .. } => b'f',
+                    Instruction::Delay { .. } => b'-',
+                    Instruction::Acquire { .. } => b'M',
+                };
+                for slot in row.iter_mut().take(b.min(cols)).skip(a.min(cols - 1)) {
+                    *slot = glyph;
+                }
+            }
+            out.push_str(&format!("{ch:>4} |{}|\n", String::from_utf8_lossy(&row)));
+        }
+        out.push_str(&format!("      duration: {} dt\n", self.duration()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Gaussian;
+
+    fn pulse(n: u64) -> Waveform {
+        Gaussian {
+            duration: n,
+            amp: 0.1,
+            sigma: n as f64 / 4.0,
+        }
+        .waveform("p")
+    }
+
+    #[test]
+    fn append_sequences_per_channel() {
+        let mut s = Schedule::new("test");
+        s.append(Instruction::Play {
+            waveform: pulse(160),
+            channel: Channel::Drive(0),
+        });
+        s.append(Instruction::Play {
+            waveform: pulse(160),
+            channel: Channel::Drive(0),
+        });
+        // Different channel starts at 0 (parallel).
+        s.append(Instruction::Play {
+            waveform: pulse(100),
+            channel: Channel::Drive(1),
+        });
+        assert_eq!(s.duration(), 320);
+        assert_eq!(s.channel_duration(Channel::Drive(0)), 320);
+        assert_eq!(s.channel_duration(Channel::Drive(1)), 100);
+    }
+
+    #[test]
+    fn frame_changes_have_zero_duration() {
+        let mut s = Schedule::new("vz");
+        s.append(Instruction::ShiftPhase {
+            phase: 1.0,
+            channel: Channel::Drive(0),
+        });
+        s.append(Instruction::ShiftPhase {
+            phase: -1.0,
+            channel: Channel::Drive(0),
+        });
+        assert_eq!(s.duration(), 0);
+        assert_eq!(s.instructions().len(), 2);
+    }
+
+    #[test]
+    fn append_schedule_aligns_on_shared_channels() {
+        let mut a = Schedule::new("a");
+        a.append(Instruction::Play {
+            waveform: pulse(160),
+            channel: Channel::Drive(0),
+        });
+        let mut b = Schedule::new("b");
+        b.append(Instruction::Play {
+            waveform: pulse(80),
+            channel: Channel::Drive(0),
+        });
+        b.append(Instruction::Play {
+            waveform: pulse(80),
+            channel: Channel::Drive(1),
+        });
+        a.append_schedule(&b);
+        // b is shifted by 160 (the busy time of d0).
+        assert_eq!(a.duration(), 240);
+        assert_eq!(a.channel_duration(Channel::Drive(1)), 240);
+    }
+
+    #[test]
+    fn append_after_barrier() {
+        let mut s = Schedule::new("barrier");
+        s.append(Instruction::Play {
+            waveform: pulse(200),
+            channel: Channel::Drive(0),
+        });
+        s.append_after(
+            Instruction::Play {
+                waveform: pulse(50),
+                channel: Channel::Drive(1),
+            },
+            &[Channel::Drive(0), Channel::Drive(1)],
+        );
+        assert_eq!(s.channel_duration(Channel::Drive(1)), 250);
+    }
+
+    #[test]
+    fn pulse_count_counts_only_plays() {
+        let mut s = Schedule::new("count");
+        s.append(Instruction::Play {
+            waveform: pulse(10),
+            channel: Channel::Drive(0),
+        });
+        s.append(Instruction::ShiftPhase {
+            phase: 0.5,
+            channel: Channel::Drive(0),
+        });
+        s.append(Instruction::Delay {
+            duration: 100,
+            channel: Channel::Drive(0),
+        });
+        assert_eq!(s.pulse_count(), 1);
+        assert_eq!(s.duration(), 110);
+    }
+
+    #[test]
+    fn shifted_preserves_structure() {
+        let mut s = Schedule::new("s");
+        s.append(Instruction::Play {
+            waveform: pulse(10),
+            channel: Channel::Drive(0),
+        });
+        let moved = s.shifted(90);
+        assert_eq!(moved.instructions()[0].start, 90);
+        assert_eq!(moved.duration(), 100);
+    }
+
+    #[test]
+    fn channels_listing() {
+        let mut s = Schedule::new("chs");
+        s.append(Instruction::Play {
+            waveform: pulse(10),
+            channel: Channel::Control(1),
+        });
+        s.append(Instruction::Play {
+            waveform: pulse(10),
+            channel: Channel::Drive(0),
+        });
+        s.append(Instruction::Acquire {
+            duration: 100,
+            qubit: 0,
+            channel: Channel::Acquire(0),
+        });
+        assert_eq!(
+            s.channels(),
+            vec![Channel::Drive(0), Channel::Control(1), Channel::Acquire(0)]
+        );
+    }
+
+    #[test]
+    fn ascii_art_renders_rows() {
+        let mut s = Schedule::new("art");
+        s.append(Instruction::Play {
+            waveform: pulse(100),
+            channel: Channel::Drive(0),
+        });
+        let art = s.ascii_art(40);
+        assert!(art.contains("d0"));
+        assert!(art.contains('#'));
+        assert!(art.contains("100 dt"));
+    }
+
+    #[test]
+    fn rasterize_respects_offsets() {
+        let mut s = Schedule::new("r");
+        let ch = Channel::Drive(0);
+        s.append(Instruction::Delay {
+            duration: 10,
+            channel: ch,
+        });
+        s.append(Instruction::Play {
+            waveform: pulse(20),
+            channel: ch,
+        });
+        let raster = s.rasterize(ch);
+        assert_eq!(raster.len(), 30);
+        assert!(raster[..10].iter().all(|c| c.abs() < 1e-12));
+        assert!(raster[10..30].iter().any(|c| c.abs() > 1e-3));
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let mut s = Schedule::new("csv");
+        s.append(Instruction::Play {
+            waveform: pulse(8),
+            channel: Channel::Drive(0),
+        });
+        s.append(Instruction::Play {
+            waveform: pulse(4),
+            channel: Channel::Control(1),
+        });
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_dt,d0_re,d0_im,u1_re,u1_im");
+        assert_eq!(lines.len(), 1 + 8); // header + duration rows
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut s = Schedule::new("sort");
+        s.insert(
+            50,
+            Instruction::Play {
+                waveform: pulse(10),
+                channel: Channel::Drive(0),
+            },
+        );
+        s.insert(
+            10,
+            Instruction::Play {
+                waveform: pulse(10),
+                channel: Channel::Drive(0),
+            },
+        );
+        let starts: Vec<u64> = s.instructions().iter().map(|ti| ti.start).collect();
+        assert_eq!(starts, vec![10, 50]);
+    }
+}

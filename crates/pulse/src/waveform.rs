@@ -1,0 +1,427 @@
+//! Pulse envelopes.
+//!
+//! A [`Waveform`] is a named sequence of complex samples, one per `dt`
+//! (0.22 ns on Almaden's AWG), norm-bounded by 1. Parametric shapes —
+//! [`Gaussian`], [`Drag`], [`GaussianSquare`], [`Constant`] — render to
+//! waveforms and support the two pulse transformations the paper's compiler
+//! is built on:
+//!
+//! * **amplitude scaling** (Optimization 1: `DirectRx(θ)` downscales the
+//!   calibrated `Rx(180°)` DRAG pulse by `θ/180°`), and
+//! * **horizontal stretching** (Optimization 3: `CR(θ)` stretches the
+//!   flat-top of the calibrated echoed-CR GaussianSquare).
+
+use quant_math::C64;
+
+/// A sampled complex envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Waveform {
+    name: String,
+    samples: Vec<C64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample has modulus greater than 1 + 1e-9 (the AWG's
+    /// norm constraint `|d_j(t)| ≤ 1`).
+    pub fn new(name: impl Into<String>, samples: Vec<C64>) -> Self {
+        let name = name.into();
+        for (i, s) in samples.iter().enumerate() {
+            assert!(
+                s.abs() <= 1.0 + 1e-9,
+                "waveform '{name}' sample {i} violates |d(t)| ≤ 1: {}",
+                s.abs()
+            );
+        }
+        Waveform { name, samples }
+    }
+
+    /// Waveform name (for display and cmd_def bookkeeping).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The complex samples.
+    pub fn samples(&self) -> &[C64] {
+        &self.samples
+    }
+
+    /// Duration in `dt` units (number of samples).
+    pub fn duration(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Complex area under the envelope, `Σ samples` (in `dt` units).
+    ///
+    /// To first order this determines the rotation angle a resonant pulse
+    /// applies — the quantity Fig. 4 equates between the standard and direct
+    /// X-gate schedules.
+    pub fn area(&self) -> C64 {
+        self.samples.iter().copied().sum()
+    }
+
+    /// Absolute area `Σ|samples|`.
+    pub fn abs_area(&self) -> f64 {
+        self.samples.iter().map(|s| s.abs()).sum()
+    }
+
+    /// Peak amplitude `max |samples|`.
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().map(|s| s.abs()).fold(0.0, f64::max)
+    }
+
+    /// Returns a copy with every sample multiplied by a real factor
+    /// (vertical/amplitude scaling).
+    pub fn scaled(&self, factor: f64) -> Waveform {
+        Waveform::new(
+            format!("{}*{factor:.4}", self.name),
+            self.samples.iter().map(|&s| s * factor).collect(),
+        )
+    }
+
+    /// Returns a copy with every sample multiplied by a complex factor
+    /// (amplitude scaling plus a phase rotation).
+    pub fn scaled_complex(&self, factor: C64) -> Waveform {
+        Waveform::new(
+            format!("{}*z", self.name),
+            self.samples.iter().map(|&s| s * factor).collect(),
+        )
+    }
+
+    /// Returns the time-reversed, conjugated waveform (the "echo" partner).
+    pub fn reversed_conj(&self) -> Waveform {
+        let mut samples: Vec<C64> = self.samples.iter().map(|s| s.conj()).collect();
+        samples.reverse();
+        Waveform::new(format!("{}_rev", self.name), samples)
+    }
+
+    /// Returns a copy negated in amplitude (180° phase flip), as used by the
+    /// active-cancellation half of an echoed CR pulse.
+    pub fn negated(&self) -> Waveform {
+        self.scaled(-1.0)
+    }
+}
+
+/// A Gaussian envelope `amp · exp(−(t−μ)²/2σ²)`, centred in its duration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gaussian {
+    /// Duration in `dt` samples.
+    pub duration: u64,
+    /// Peak complex amplitude (|amp| ≤ 1).
+    pub amp: f64,
+    /// Standard deviation in `dt` samples.
+    pub sigma: f64,
+}
+
+impl Gaussian {
+    /// Renders to samples.
+    ///
+    /// The envelope is *lifted* (edge value subtracted and rescaled, as in
+    /// Qiskit's `Gaussian`), so the pulse starts and ends at exactly zero —
+    /// otherwise the truncation step itself causes spectral leakage no DRAG
+    /// correction can remove.
+    pub fn waveform(&self, name: impl Into<String>) -> Waveform {
+        let mu = (self.duration as f64 - 1.0) / 2.0;
+        let s2 = 2.0 * self.sigma * self.sigma;
+        let edge = {
+            let d = -1.0 - mu;
+            (-d * d / s2).exp()
+        };
+        let samples = (0..self.duration)
+            .map(|t| {
+                let dt = t as f64 - mu;
+                let g = (-dt * dt / s2).exp();
+                C64::real(self.amp * (g - edge) / (1.0 - edge))
+            })
+            .collect();
+        Waveform::new(name, samples)
+    }
+}
+
+/// A DRAG envelope: Gaussian with a derivative-weighted imaginary component
+/// `−i·β·dG/dt`, which cancels leakage to the |2⟩ level (Motzoi et al.).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Drag {
+    /// Duration in `dt` samples.
+    pub duration: u64,
+    /// Peak amplitude.
+    pub amp: f64,
+    /// Gaussian width in `dt` samples.
+    pub sigma: f64,
+    /// DRAG coefficient β (units of `dt`).
+    pub beta: f64,
+}
+
+impl Drag {
+    /// Renders to samples (lifted, like [`Gaussian`]). The imaginary part is
+    /// `β · d/dt` of the *lifted* real part, so it also vanishes at the
+    /// edges.
+    pub fn waveform(&self, name: impl Into<String>) -> Waveform {
+        self.waveform_detuned(name, 0.0)
+    }
+
+    /// Renders with a baked-in carrier detuning of `rad_per_sample` radians
+    /// per `dt` (the AC-Stark compensation offset calibrated alongside the
+    /// pulse amplitude). The samples are multiplied by
+    /// `e^{-i·rad_per_sample·k}`, matching the device integrator's
+    /// `ShiftFrequency` sign convention.
+    pub fn waveform_detuned(&self, name: impl Into<String>, rad_per_sample: f64) -> Waveform {
+        let mu = (self.duration as f64 - 1.0) / 2.0;
+        let s2 = self.sigma * self.sigma;
+        let edge = {
+            let d = -1.0 - mu;
+            (-d * d / (2.0 * s2)).exp()
+        };
+        let samples = (0..self.duration)
+            .map(|t| {
+                let dt = t as f64 - mu;
+                let g0 = (-dt * dt / (2.0 * s2)).exp();
+                let g = self.amp * (g0 - edge) / (1.0 - edge);
+                let dg = self.amp * (-dt / s2 * g0) / (1.0 - edge);
+                C64::new(g, self.beta * dg) * C64::cis(-rad_per_sample * t as f64)
+            })
+            .collect();
+        Waveform::new(name, samples)
+    }
+}
+
+/// A flat-top pulse with Gaussian rise/fall: the shape of cross-resonance
+/// drive pulses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaussianSquare {
+    /// Total duration in `dt` samples.
+    pub duration: u64,
+    /// Flat-top amplitude.
+    pub amp: f64,
+    /// Gaussian edge width in `dt` samples.
+    pub sigma: f64,
+    /// Flat-top width in `dt` samples (`width ≤ duration`).
+    pub width: u64,
+}
+
+impl GaussianSquare {
+    /// Renders to samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width > duration`.
+    pub fn waveform(&self, name: impl Into<String>) -> Waveform {
+        assert!(self.width <= self.duration, "flat-top wider than pulse");
+        let ramp = (self.duration - self.width) as f64 / 2.0;
+        let rise_end = ramp;
+        let fall_start = ramp + self.width as f64;
+        let s2 = self.sigma * self.sigma;
+        // Lifted edges (see `Gaussian::waveform`).
+        let edge = (-(ramp + 1.0) * (ramp + 1.0) / (2.0 * s2)).exp();
+        let lift = |g: f64| (g - edge) / (1.0 - edge);
+        let samples = (0..self.duration)
+            .map(|t| {
+                let t = t as f64;
+                let v = if t < rise_end {
+                    let d = t - rise_end;
+                    self.amp * lift((-d * d / (2.0 * s2)).exp())
+                } else if t < fall_start {
+                    self.amp
+                } else {
+                    let d = t - fall_start;
+                    self.amp * lift((-d * d / (2.0 * s2)).exp())
+                };
+                C64::real(v)
+            })
+            .collect();
+        Waveform::new(name, samples)
+    }
+
+    /// Horizontal stretch: returns a pulse whose *flat-top* is scaled so
+    /// the total area is `factor` times the original — the paper's
+    /// mechanism for building `CR(θ)` from the calibrated `CR(90°)` pulse.
+    ///
+    /// The Gaussian edges are preserved; only the width changes. `factor`
+    /// may be < 1 (compression) as long as the resulting width is
+    /// non-negative.
+    pub fn stretched_area(&self, factor: f64) -> GaussianSquare {
+        assert!(factor >= 0.0, "stretch factor must be non-negative");
+        let edge_area = {
+            // Area contributed by the two Gaussian ramps (analytic ≈ σ√(2π)
+            // for full tails; compute numerically from the rendered shape).
+            let no_top = GaussianSquare {
+                width: 0,
+                duration: self.duration - self.width,
+                ..*self
+            };
+            no_top.waveform("edges").area().re
+        };
+        let total = edge_area + self.width as f64 * self.amp;
+        let target = total * factor;
+        if target < edge_area {
+            // The requested area is below what the Gaussian edges alone
+            // carry: shrink vertically instead (small-angle CR pulses).
+            return GaussianSquare {
+                duration: self.duration - self.width,
+                width: 0,
+                amp: self.amp * target / edge_area,
+                ..*self
+            };
+        }
+        let new_width = ((target - edge_area) / self.amp).round().max(0.0) as u64;
+        GaussianSquare {
+            duration: self.duration - self.width + new_width,
+            width: new_width,
+            ..*self
+        }
+    }
+}
+
+/// A constant (square) envelope.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Constant {
+    /// Duration in `dt` samples.
+    pub duration: u64,
+    /// Complex amplitude.
+    pub amp: f64,
+}
+
+impl Constant {
+    /// Renders to samples.
+    pub fn waveform(&self, name: impl Into<String>) -> Waveform {
+        Waveform::new(name, vec![C64::real(self.amp); self.duration as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_symmetry_and_peak() {
+        let g = Gaussian {
+            duration: 160,
+            amp: 0.2,
+            sigma: 40.0,
+        };
+        let w = g.waveform("g");
+        assert_eq!(w.duration(), 160);
+        // The centre falls between two samples, so the peak is marginally
+        // below the nominal amplitude.
+        assert!((w.peak() - 0.2).abs() < 1e-4);
+        // Symmetric about the centre.
+        let s = w.samples();
+        for i in 0..80 {
+            assert!((s[i].re - s[159 - i].re).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amplitude_scaling_scales_area_linearly() {
+        let g = Gaussian {
+            duration: 160,
+            amp: 0.4,
+            sigma: 40.0,
+        };
+        let w = g.waveform("g");
+        let half = w.scaled(0.5);
+        assert!((half.area().re - w.area().re * 0.5).abs() < 1e-9);
+        assert!((half.peak() - 0.2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn drag_has_odd_imaginary_part() {
+        let d = Drag {
+            duration: 160,
+            amp: 0.2,
+            sigma: 40.0,
+            beta: 1.5,
+        };
+        let w = d.waveform("drag");
+        let s = w.samples();
+        // Imag part is the derivative: antisymmetric about the centre.
+        for i in 0..80 {
+            assert!((s[i].im + s[159 - i].im).abs() < 1e-9);
+        }
+        // Total imaginary area ≈ 0.
+        assert!(w.area().im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_square_flat_top() {
+        let gs = GaussianSquare {
+            duration: 400,
+            amp: 0.3,
+            sigma: 20.0,
+            width: 240,
+        };
+        let w = gs.waveform("cr");
+        // Middle samples sit at the flat-top amplitude.
+        assert!((w.samples()[200].re - 0.3).abs() < 1e-12);
+        assert!((w.peak() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_area_hits_target_factor() {
+        let gs = GaussianSquare {
+            duration: 400,
+            amp: 0.3,
+            sigma: 20.0,
+            width: 240,
+        };
+        let orig_area = gs.waveform("a").area().re;
+        for factor in [0.25, 0.5, 1.0, 1.5, 2.0] {
+            let stretched = gs.stretched_area(factor);
+            let area = stretched.waveform("b").area().re;
+            assert!(
+                (area - orig_area * factor).abs() < gs.amp * 1.0,
+                "factor {factor}: area {area} vs target {}",
+                orig_area * factor
+            );
+        }
+    }
+
+    #[test]
+    fn stretch_changes_duration_not_amplitude() {
+        let gs = GaussianSquare {
+            duration: 400,
+            amp: 0.3,
+            sigma: 20.0,
+            width: 240,
+        };
+        let half = gs.stretched_area(0.5);
+        assert!(half.duration < gs.duration);
+        assert_eq!(half.amp, gs.amp);
+        let double = gs.stretched_area(2.0);
+        assert!(double.duration > gs.duration);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn waveform_rejects_overdriven_samples() {
+        Waveform::new("bad", vec![C64::real(1.5)]);
+    }
+
+    #[test]
+    fn reversed_conj_round_trip() {
+        let d = Drag {
+            duration: 64,
+            amp: 0.5,
+            sigma: 16.0,
+            beta: 0.7,
+        };
+        let w = d.waveform("w");
+        let back = w.reversed_conj().reversed_conj();
+        for (a, b) in w.samples().iter().zip(back.samples()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn constant_area() {
+        let c = Constant {
+            duration: 35,
+            amp: 0.44,
+        };
+        let w = c.waveform("c");
+        assert!((w.area().re - 35.0 * 0.44).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,382 @@
+//! A small, dependency-free double-precision complex number type.
+//!
+//! The whole workspace is built on [`C64`]. It mirrors the subset of
+//! `num_complex::Complex64` that quantum simulation needs: arithmetic with
+//! both complex and real operands, polar form, exponentials, and conjugation.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from Cartesian components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline]
+    pub const fn imag(im: f64) -> Self {
+        C64 { re: 0.0, im }
+    }
+
+    /// Creates a complex number from polar form `r * e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`; cheaper than [`C64::abs`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        C64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        C64::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Principal natural logarithm.
+    pub fn ln(self) -> Self {
+        C64::new(self.abs().ln(), self.arg())
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite value when `z == 0`, mirroring `f64` division.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return C64::ONE;
+        }
+        let mut base = if n < 0 { self.inv() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = C64::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Returns true when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns true when `|self - other|` is at most `tol`.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.inv()
+    }
+}
+
+impl Add<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: f64) -> C64 {
+        C64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: f64) -> C64 {
+        C64::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        C64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        rhs + self
+    }
+}
+
+impl Sub<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self - rhs.re, -rhs.im)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs * self
+    }
+}
+
+impl Div<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        C64::real(self) / rhs
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C64::new(3.0, -4.0);
+        assert!((z + C64::ZERO).approx_eq(z, TOL));
+        assert!((z * C64::ONE).approx_eq(z, TOL));
+        assert!((z - z).approx_eq(C64::ZERO, TOL));
+        assert!((z / z).approx_eq(C64::ONE, TOL));
+        assert!((z * z.inv()).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn modulus_and_conjugate() {
+        let z = C64::new(3.0, -4.0);
+        assert!((z.abs() - 5.0).abs() < TOL);
+        assert!((z.norm_sqr() - 25.0).abs() < TOL);
+        assert!((z * z.conj()).approx_eq(C64::real(25.0), TOL));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::from_polar(2.0, 1.1);
+        assert!((z.abs() - 2.0).abs() < TOL);
+        assert!((z.arg() - 1.1).abs() < TOL);
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = C64::cis(std::f64::consts::PI);
+        assert!(z.approx_eq(C64::real(-1.0), TOL));
+    }
+
+    #[test]
+    fn exp_ln_round_trip() {
+        let z = C64::new(0.3, -0.7);
+        assert!(z.exp().ln().approx_eq(z, 1e-10));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = C64::new(-1.5, 2.5);
+        let r = z.sqrt();
+        assert!((r * r).approx_eq(z, 1e-10));
+    }
+
+    #[test]
+    fn integer_powers() {
+        let z = C64::new(1.2, -0.4);
+        assert!(z.powi(0).approx_eq(C64::ONE, TOL));
+        assert!(z.powi(3).approx_eq(z * z * z, 1e-10));
+        assert!(z.powi(-2).approx_eq((z * z).inv(), 1e-10));
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let z = C64::new(1.0, 2.0);
+        assert!((2.0 * z).approx_eq(C64::new(2.0, 4.0), TOL));
+        assert!((z + 1.0).approx_eq(C64::new(2.0, 2.0), TOL));
+        assert!((1.0 - z).approx_eq(C64::new(0.0, -2.0), TOL));
+        assert!((4.0 / C64::new(2.0, 0.0)).approx_eq(C64::real(2.0), TOL));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: C64 = (0..4).map(|k| C64::new(k as f64, 1.0)).sum();
+        assert!(total.approx_eq(C64::new(6.0, 4.0), TOL));
+    }
+}

@@ -1,0 +1,236 @@
+//! Eigendecomposition of Hermitian matrices by the complex Jacobi method,
+//! and matrix exponentials of (anti-)Hermitian generators built on top of it.
+
+use crate::complex::C64;
+use crate::mat::CMat;
+
+/// Eigendecomposition `H = V · diag(λ) · V†` of a Hermitian matrix.
+#[derive(Clone, Debug)]
+pub struct HermitianEig {
+    /// Real eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: CMat,
+}
+
+/// Diagonalizes a Hermitian matrix with cyclic complex Jacobi rotations.
+///
+/// # Panics
+///
+/// Panics when `h` is not square or not Hermitian to `1e-8`.
+pub fn eigh(h: &CMat) -> HermitianEig {
+    assert!(h.is_square(), "eigh requires a square matrix");
+    assert!(
+        h.is_hermitian(1e-8),
+        "eigh requires a Hermitian matrix (‖H−H†‖ = {:.3e})",
+        h.max_abs_diff(&h.dagger())
+    );
+    let n = h.rows();
+    let mut a = h.clone();
+    let mut v = CMat::identity(n);
+
+    // Cyclic sweeps until all off-diagonal mass is annihilated.
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[(p, q)].norm_sqr();
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + a.frobenius_norm()) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                // Unitary 2×2 rotation that zeroes A[p,q].
+                // Write A[p,q] = |apq| e^{iφ}; with the phase absorbed the
+                // problem reduces to a real Jacobi rotation.
+                let phi = apq.arg();
+                let app = a[(p, p)].re;
+                let aqq = a[(q, q)].re;
+                let tau = (aqq - app) / (2.0 * apq.abs());
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Rotation columns: |p'> = c|p> - s e^{-iφ}|q>, |q'> = s e^{iφ}|p> + c|q>
+                let e_pos = C64::cis(phi);
+                let e_neg = C64::cis(-phi);
+
+                // Update A = J† A J.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = akp * c - akq * e_neg * s;
+                    a[(k, q)] = akp * e_pos * s + akq * c;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = apk * c - aqk * e_pos * s;
+                    a[(q, k)] = apk * e_neg * s + aqk * c;
+                }
+                // Accumulate eigenvectors V = V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp * c - vkq * e_neg * s;
+                    v[(k, q)] = vkp * e_pos * s + vkq * c;
+                }
+            }
+        }
+    }
+
+    // Sort ascending by eigenvalue, permuting eigenvector columns to match.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[(i, i)].re.partial_cmp(&a[(j, j)].re).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| a[(i, i)].re).collect();
+    let vectors = CMat::from_fn(n, n, |r, c| v[(r, order[c])]);
+    HermitianEig { values, vectors }
+}
+
+/// Computes the unitary `exp(-i H t)` for Hermitian `H`.
+///
+/// This is the workhorse of the pulse-level device simulator: each sample of
+/// a pulse schedule contributes one short-time propagator.
+pub fn unitary_exp(h: &CMat, t: f64) -> CMat {
+    let eig = eigh(h);
+    let phases: Vec<C64> = eig
+        .values
+        .iter()
+        .map(|&lambda| C64::cis(-lambda * t))
+        .collect();
+    let d = CMat::diag(&phases);
+    &(&eig.vectors * &d) * &eig.vectors.dagger()
+}
+
+/// Computes `exp(A)` for a general square matrix by scaling and squaring
+/// with a truncated Taylor series. Accurate for the modest norms seen in
+/// short-time propagators; not intended for stiff problems.
+pub fn expm(a: &CMat) -> CMat {
+    assert!(a.is_square(), "expm requires a square matrix");
+    let norm = a.frobenius_norm();
+    let squarings = if norm > 0.5 {
+        (norm / 0.5).log2().ceil().max(0.0) as u32
+    } else {
+        0
+    };
+    let scaled = a.scale(C64::real(1.0 / f64::powi(2.0, squarings as i32)));
+    // Taylor series to order 14 on the scaled matrix.
+    let n = a.rows();
+    let mut term = CMat::identity(n);
+    let mut sum = CMat::identity(n);
+    for k in 1..=14 {
+        term = &term * &scaled;
+        term = term.scale(C64::real(1.0 / k as f64));
+        sum = &sum + &term;
+    }
+    let mut result = sum;
+    for _ in 0..squarings {
+        result = &result * &result;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn pauli_x() -> CMat {
+        CMat::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]])
+    }
+
+    fn pauli_z() -> CMat {
+        CMat::from_real_rows(&[&[1.0, 0.0], &[0.0, -1.0]])
+    }
+
+    #[test]
+    fn eigh_pauli_z() {
+        let eig = eigh(&pauli_z());
+        assert!((eig.values[0] + 1.0).abs() < 1e-10);
+        assert!((eig.values[1] - 1.0).abs() < 1e-10);
+        assert!(eig.vectors.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn eigh_reconstructs_matrix() {
+        // Random-ish 4x4 Hermitian matrix.
+        let mut h = CMat::zeros(4, 4);
+        let vals = [
+            (0, 0, 1.0, 0.0),
+            (1, 1, -0.5, 0.0),
+            (2, 2, 2.0, 0.0),
+            (3, 3, 0.25, 0.0),
+            (0, 1, 0.3, 0.7),
+            (0, 2, -0.2, 0.1),
+            (1, 3, 0.6, -0.4),
+            (2, 3, 0.05, 0.9),
+        ];
+        for &(r, c, re, im) in &vals {
+            h[(r, c)] = C64::new(re, im);
+            if r != c {
+                h[(c, r)] = C64::new(re, -im);
+            }
+        }
+        let eig = eigh(&h);
+        let lambda: Vec<C64> = eig.values.iter().map(|&v| C64::real(v)).collect();
+        let recon = &(&eig.vectors * &CMat::diag(&lambda)) * &eig.vectors.dagger();
+        assert!(recon.max_abs_diff(&h) < 1e-9);
+        // Eigenvalues ascending.
+        for w in eig.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn unitary_exp_rotation() {
+        // exp(-i X π/2 / 1) with H = X/2 scaled: Rx(θ) = exp(-i θ X / 2).
+        let h = pauli_x().scale(C64::real(0.5));
+        let u = unitary_exp(&h, PI);
+        // Rx(π) = -i X.
+        let expect = pauli_x().scale(C64::imag(-1.0));
+        assert!(u.max_abs_diff(&expect) < 1e-9);
+        assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn unitary_exp_identity_at_zero_time() {
+        let h = pauli_x();
+        let u = unitary_exp(&h, 0.0);
+        assert!(u.max_abs_diff(&CMat::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn expm_matches_unitary_exp() {
+        let h = pauli_x().scale(C64::real(0.5));
+        let a = h.scale(C64::imag(-1.3)); // -i·1.3·H
+        let via_taylor = expm(&a);
+        let via_eig = unitary_exp(&h, 1.3);
+        assert!(via_taylor.max_abs_diff(&via_eig) < 1e-9);
+    }
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let z = CMat::zeros(3, 3);
+        assert!(expm(&z).max_abs_diff(&CMat::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn expm_nilpotent() {
+        // N = [[0,1],[0,0]] → exp(N) = I + N exactly.
+        let mut n = CMat::zeros(2, 2);
+        n[(0, 1)] = C64::ONE;
+        let e = expm(&n);
+        let mut expect = CMat::identity(2);
+        expect[(0, 1)] = C64::ONE;
+        assert!(e.max_abs_diff(&expect) < 1e-12);
+    }
+}

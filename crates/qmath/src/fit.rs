@@ -1,0 +1,259 @@
+//! Least-squares curve fitting for the characterization experiments.
+//!
+//! * Linear least squares (normal equations) for basis-function models.
+//! * Exponential decay `y = a·fᵏ + b` for randomized benchmarking (Fig. 13).
+//! * Cosine fits for Rabi calibration amplitude sweeps.
+
+use crate::complex::C64;
+use crate::mat::CMat;
+
+/// Solves the linear least-squares problem `min ‖X β − y‖²` via the normal
+/// equations. `x[i]` is the i-th row of the design matrix.
+///
+/// Returns `None` when the normal matrix is singular.
+pub fn linear_least_squares(x: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(x.len(), y.len(), "design/observation length mismatch");
+    assert!(!x.is_empty(), "empty least-squares problem");
+    let p = x[0].len();
+    // Normal matrix XᵀX and XᵀY assembled as a complex system (imag = 0).
+    let mut xtx = CMat::zeros(p, p);
+    let mut xty = vec![C64::ZERO; p];
+    for (row, &yi) in x.iter().zip(y) {
+        assert_eq!(row.len(), p, "ragged design matrix");
+        for a in 0..p {
+            for b in 0..p {
+                xtx[(a, b)] += C64::real(row[a] * row[b]);
+            }
+            xty[a] += C64::real(row[a] * yi);
+        }
+    }
+    let beta = xtx.solve(&xty)?;
+    Some(beta.into_iter().map(|z| z.re).collect())
+}
+
+/// Result of an exponential-decay fit `y = a·fᵏ + b`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExpDecayFit {
+    /// Amplitude.
+    pub a: f64,
+    /// Decay base per step — interpreted as gate fidelity in randomized
+    /// benchmarking.
+    pub f: f64,
+    /// Offset (SPAM floor in RB).
+    pub b: f64,
+    /// Residual sum of squares.
+    pub rss: f64,
+}
+
+/// Fits `y = a·fᵏ + b` to `(k, y)` samples.
+///
+/// For fixed `f` the model is linear in `(a, b)`, so we grid-scan `f` over
+/// `(0, 1)` and polish the winner with a golden-section refinement.
+pub fn fit_exp_decay(ks: &[f64], ys: &[f64]) -> ExpDecayFit {
+    assert_eq!(ks.len(), ys.len());
+    assert!(ks.len() >= 3, "need at least 3 points for a 3-parameter fit");
+
+    let eval = |f: f64| -> (f64, f64, f64) {
+        // Linear LS for a, b given f.
+        let design: Vec<Vec<f64>> = ks.iter().map(|&k| vec![f.powf(k), 1.0]).collect();
+        let beta = linear_least_squares(&design, ys).unwrap_or_else(|| vec![0.0, 0.0]);
+        let (a, b) = (beta[0], beta[1]);
+        let mut rss: f64 = ks
+            .iter()
+            .zip(ys)
+            .map(|(&k, &y)| {
+                let model = a * f.powf(k) + b;
+                (y - model).powi(2)
+            })
+            .sum();
+        // The model describes survival probabilities: penalize unphysical
+        // amplitude/offset pairs (the a→∞, b→−∞ degeneracy at f→1).
+        if !(0.0..=1.5).contains(&a) || !(-0.5..=1.5).contains(&b) {
+            rss += 1e3;
+        }
+        (a, b, rss)
+    };
+
+    // Coarse grid: linear over (0, 1) for strong decays, plus a log-spaced
+    // refinement near 1 (f = 1 − 10^{−x}) — randomized-benchmarking decays
+    // with per-gate error ≪ 1 are hopelessly ill-conditioned on a linear
+    // grid alone.
+    let mut best_f = 0.5;
+    let mut best_rss = f64::INFINITY;
+    for i in 1..1000 {
+        let f = i as f64 / 1000.0;
+        let (_, _, rss) = eval(f);
+        if rss < best_rss {
+            best_rss = rss;
+            best_f = f;
+        }
+    }
+    for i in 0..=400 {
+        let x = 0.3 + 4.7 * i as f64 / 400.0;
+        let f = 1.0 - 10.0_f64.powf(-x);
+        let (_, _, rss) = eval(f);
+        if rss < best_rss {
+            best_rss = rss;
+            best_f = f;
+        }
+    }
+    // Golden-section polish in log(1−f) space around the winner.
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let x0 = -(1.0 - best_f).log10();
+    let (mut lo, mut hi) = (x0 - 0.05, x0 + 0.05);
+    for _ in 0..60 {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        let f1 = 1.0 - 10.0_f64.powf(-m1);
+        let f2 = 1.0 - 10.0_f64.powf(-m2);
+        if eval(f1).2 < eval(f2).2 {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let f = 1.0 - 10.0_f64.powf(-(lo + hi) / 2.0);
+    let (a, b, rss) = eval(f);
+    ExpDecayFit { a, f, b, rss }
+}
+
+/// Result of a cosine fit `y = amp·cos(2π·x/period + phase) + offset`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CosineFit {
+    /// Oscillation amplitude.
+    pub amp: f64,
+    /// Period in the units of `x`.
+    pub period: f64,
+    /// Phase offset in radians.
+    pub phase: f64,
+    /// Vertical offset.
+    pub offset: f64,
+    /// Residual sum of squares.
+    pub rss: f64,
+}
+
+/// Fits a cosine to `(x, y)` samples; the model is the textbook Rabi
+/// oscillation shape. For a fixed period the model is linear in
+/// `(A·cos φ, −A·sin φ, offset)`, so we scan candidate periods and solve the
+/// rest by linear least squares.
+pub fn fit_cosine(xs: &[f64], ys: &[f64], period_range: (f64, f64)) -> CosineFit {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 4, "need at least 4 points for a 4-parameter fit");
+    let (pmin, pmax) = period_range;
+    assert!(pmin > 0.0 && pmax > pmin, "invalid period range");
+
+    let eval = |period: f64| -> (f64, f64, f64, f64) {
+        let w = std::f64::consts::TAU / period;
+        let design: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|&x| vec![(w * x).cos(), (w * x).sin(), 1.0])
+            .collect();
+        let beta =
+            linear_least_squares(&design, ys).unwrap_or_else(|| vec![0.0, 0.0, 0.0]);
+        let (c, s, offset) = (beta[0], beta[1], beta[2]);
+        let rss: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| (y - (c * (w * x).cos() + s * (w * x).sin() + offset)).powi(2))
+            .sum();
+        let amp = c.hypot(s);
+        let phase = (-s).atan2(c);
+        (amp, phase, offset, rss)
+    };
+
+    let mut best = (pmin, f64::INFINITY);
+    for i in 0..=2000 {
+        let period = pmin + (pmax - pmin) * i as f64 / 2000.0;
+        let (_, _, _, rss) = eval(period);
+        if rss < best.1 {
+            best = (period, rss);
+        }
+    }
+    // Golden-section polish.
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let span = (pmax - pmin) / 2000.0;
+    let (mut lo, mut hi) = ((best.0 - span).max(pmin), (best.0 + span).min(pmax));
+    for _ in 0..60 {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        if eval(m1).3 < eval(m2).3 {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let period = (lo + hi) / 2.0;
+    let (amp, phase, offset, rss) = eval(period);
+    CosineFit {
+        amp,
+        period,
+        phase,
+        offset,
+        rss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn linear_ls_exact_line() {
+        // y = 2x + 1
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 1.0]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let beta = linear_least_squares(&x, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-10);
+        assert!((beta[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn linear_ls_overdetermined_noisy() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 1.0]).collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| 3.0 * i as f64 - 4.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let beta = linear_least_squares(&x, &y).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-2);
+        assert!((beta[1] + 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn exp_decay_recovers_parameters() {
+        // Classic RB shape: a = 0.48, f = 0.9982, b = 0.51
+        let ks: Vec<f64> = (2..=25).map(|k| k as f64).collect();
+        let ys: Vec<f64> = ks.iter().map(|&k| 0.48 * 0.9982_f64.powf(k) + 0.51).collect();
+        let fit = fit_exp_decay(&ks, &ys);
+        assert!((fit.f - 0.9982).abs() < 1e-4, "f = {}", fit.f);
+        assert!((fit.a - 0.48).abs() < 1e-2, "a = {}", fit.a);
+        assert!((fit.b - 0.51).abs() < 1e-2, "b = {}", fit.b);
+        assert!(fit.rss < 1e-8);
+    }
+
+    #[test]
+    fn exp_decay_with_noise_is_close() {
+        let ks: Vec<f64> = (1..=30).map(|k| k as f64).collect();
+        let ys: Vec<f64> = ks
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| 0.5 * 0.97_f64.powf(k) + 0.5 + if i % 2 == 0 { 2e-3 } else { -2e-3 })
+            .collect();
+        let fit = fit_exp_decay(&ks, &ys);
+        assert!((fit.f - 0.97).abs() < 5e-3, "f = {}", fit.f);
+    }
+
+    #[test]
+    fn cosine_fit_recovers_rabi_curve() {
+        // P(amp) = 0.5·cos(2π·amp/0.4 + π) + 0.5 — π-pulse at amp 0.2.
+        let xs: Vec<f64> = (0..60).map(|i| i as f64 * 0.01).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 0.5 * (TAU * x / 0.4 + std::f64::consts::PI).cos() + 0.5)
+            .collect();
+        let fit = fit_cosine(&xs, &ys, (0.1, 1.0));
+        assert!((fit.period - 0.4).abs() < 1e-3, "period = {}", fit.period);
+        assert!((fit.amp - 0.5).abs() < 1e-3, "amp = {}", fit.amp);
+        assert!((fit.offset - 0.5).abs() < 1e-3, "offset = {}", fit.offset);
+    }
+}

@@ -1,0 +1,564 @@
+//! Dense, row-major complex matrices.
+//!
+//! [`CMat`] is sized for quantum work: gate matrices (2×2 … 16×16), density
+//! matrices up to a few dozen qubits' worth of 2ᴺ×2ᴺ entries, and the small
+//! Hamiltonians integrated by the device simulator. Operations favour clarity
+//! and numerical robustness over asymptotic cleverness.
+
+use crate::complex::C64;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense complex matrix in row-major storage.
+#[derive(Clone, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut m = CMat::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from nested row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or the input is empty.
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut m = CMat::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged rows in matrix literal");
+            for (c, &v) in row.iter().enumerate() {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from real-valued nested row slices.
+    pub fn from_real_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        CMat::from_fn(rows.len(), cols, |r, c| C64::real(rows[r][c]))
+    }
+
+    /// Builds a square diagonal matrix from the given diagonal entries.
+    pub fn diag(entries: &[C64]) -> Self {
+        let n = entries.len();
+        let mut m = CMat::zeros(n, n);
+        for (i, &e) in entries.iter().enumerate() {
+            m[(i, i)] = e;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns true for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major entries.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> CMat {
+        CMat::from_fn(self.rows, self.cols, |r, c| self[(r, c)].conj())
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn dagger(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, k: C64) -> CMat {
+        CMat::from_fn(self.rows, self.cols, |r, c| self[(r, c)] * k)
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CMat) -> CMat {
+        let (p, q) = (other.rows, other.cols);
+        CMat::from_fn(self.rows * p, self.cols * q, |r, c| {
+            self[(r / p, c / q)] * other[(r % p, c % q)]
+        })
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(self.cols, v.len(), "matrix-vector dimension mismatch");
+        let mut out = vec![C64::ZERO; self.rows];
+        for r in 0..self.rows {
+            let mut acc = C64::ZERO;
+            let base = r * self.cols;
+            for c in 0..self.cols {
+                acc += self.data[base + c] * v[c];
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Frobenius norm `√Σ|aᵢⱼ|²`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry-wise distance to `other`.
+    pub fn max_abs_diff(&self, other: &CMat) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns true when `‖A†A − I‖∞ ≤ tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = self.dagger() * self.clone();
+        prod.max_abs_diff(&CMat::identity(self.rows)) <= tol
+    }
+
+    /// Returns true when `‖A − A†‖∞ ≤ tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.max_abs_diff(&self.dagger()) <= tol
+    }
+
+    /// Determinant by LU decomposition with partial pivoting.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not square.
+    pub fn det(&self) -> C64 {
+        assert!(self.is_square(), "determinant of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut det = C64::ONE;
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below the diagonal.
+            let (mut pivot_row, mut pivot_mag) = (k, a[(k, k)].abs());
+            for r in (k + 1)..n {
+                let mag = a[(r, k)].abs();
+                if mag > pivot_mag {
+                    pivot_row = r;
+                    pivot_mag = mag;
+                }
+            }
+            if pivot_mag == 0.0 {
+                return C64::ZERO;
+            }
+            if pivot_row != k {
+                a.swap_rows(pivot_row, k);
+                det = -det;
+            }
+            det *= a[(k, k)];
+            for r in (k + 1)..n {
+                let factor = a[(r, k)] / a[(k, k)];
+                for c in k..n {
+                    let sub = factor * a[(k, c)];
+                    a[(r, c)] -= sub;
+                }
+            }
+        }
+        det
+    }
+
+    /// Solves `A x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// Returns `None` for singular (to working precision) systems.
+    pub fn solve(&self, b: &[C64]) -> Option<Vec<C64>> {
+        assert!(self.is_square(), "solve requires a square matrix");
+        assert_eq!(self.rows, b.len(), "rhs length mismatch");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.to_vec();
+        for k in 0..n {
+            let (mut pivot_row, mut pivot_mag) = (k, a[(k, k)].abs());
+            for r in (k + 1)..n {
+                let mag = a[(r, k)].abs();
+                if mag > pivot_mag {
+                    pivot_row = r;
+                    pivot_mag = mag;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return None;
+            }
+            if pivot_row != k {
+                a.swap_rows(pivot_row, k);
+                x.swap(pivot_row, k);
+            }
+            for r in (k + 1)..n {
+                let factor = a[(r, k)] / a[(k, k)];
+                for c in k..n {
+                    let sub = factor * a[(k, c)];
+                    a[(r, c)] -= sub;
+                }
+                let sub = factor * x[k];
+                x[r] -= sub;
+            }
+        }
+        for k in (0..n).rev() {
+            let mut acc = x[k];
+            for c in (k + 1)..n {
+                acc -= a[(k, c)] * x[c];
+            }
+            x[k] = acc / a[(k, k)];
+        }
+        Some(x)
+    }
+
+    /// Matrix inverse via column-by-column solves.
+    ///
+    /// Returns `None` for singular matrices.
+    pub fn inverse(&self) -> Option<CMat> {
+        assert!(self.is_square(), "inverse of non-square matrix");
+        let n = self.rows;
+        let mut inv = CMat::zeros(n, n);
+        for c in 0..n {
+            let mut e = vec![C64::ZERO; n];
+            e[c] = C64::ONE;
+            let col = self.solve(&e)?;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+        }
+        Some(inv)
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    /// Removes any global phase by making the largest-modulus entry real
+    /// and positive. Useful when comparing unitaries up to phase.
+    pub fn normalize_global_phase(&self) -> CMat {
+        let mut best = C64::ZERO;
+        for &z in &self.data {
+            if z.abs() > best.abs() {
+                best = z;
+            }
+        }
+        if best.abs() < 1e-300 {
+            return self.clone();
+        }
+        let phase = C64::cis(-best.arg());
+        self.scale(phase)
+    }
+
+    /// Distance to `other` ignoring a global phase difference:
+    /// `min_φ ‖A − e^{iφ}B‖∞`, computed via phase alignment on the largest
+    /// overlap.
+    pub fn phase_invariant_diff(&self, other: &CMat) -> f64 {
+        let overlap = (self.dagger() * other.clone()).trace();
+        if overlap.abs() < 1e-300 {
+            return self.max_abs_diff(other);
+        }
+        let phase = C64::cis(-overlap.arg());
+        self.max_abs_diff(&other.scale(phase))
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &C64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut C64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for CMat {
+    type Output = CMat;
+    fn add(self, rhs: CMat) -> CMat {
+        &self + &rhs
+    }
+}
+
+impl Add for &CMat {
+    type Output = CMat;
+    fn add(self, rhs: &CMat) -> CMat {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        CMat::from_fn(self.rows, self.cols, |r, c| self[(r, c)] + rhs[(r, c)])
+    }
+}
+
+impl Sub for CMat {
+    type Output = CMat;
+    fn sub(self, rhs: CMat) -> CMat {
+        &self - &rhs
+    }
+}
+
+impl Sub for &CMat {
+    type Output = CMat;
+    fn sub(self, rhs: &CMat) -> CMat {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        CMat::from_fn(self.rows, self.cols, |r, c| self[(r, c)] - rhs[(r, c)])
+    }
+}
+
+impl Neg for CMat {
+    type Output = CMat;
+    fn neg(self) -> CMat {
+        self.scale(C64::real(-1.0))
+    }
+}
+
+impl Mul for CMat {
+    type Output = CMat;
+    fn mul(self, rhs: CMat) -> CMat {
+        &self * &rhs
+    }
+}
+
+impl Mul for &CMat {
+    type Output = CMat;
+    fn mul(self, rhs: &CMat) -> CMat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                let rhs_base = k * rhs.cols;
+                let out_base = r * rhs.cols;
+                for c in 0..rhs.cols {
+                    out.data[out_base + c] += a * rhs.data[rhs_base + c];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> CMat {
+        CMat::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]])
+    }
+
+    fn pauli_y() -> CMat {
+        CMat::from_rows(&[
+            &[C64::ZERO, C64::imag(-1.0)],
+            &[C64::imag(1.0), C64::ZERO],
+        ])
+    }
+
+    fn pauli_z() -> CMat {
+        CMat::from_real_rows(&[&[1.0, 0.0], &[0.0, -1.0]])
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let (x, y, z) = (pauli_x(), pauli_y(), pauli_z());
+        // XY = iZ
+        let xy = &x * &y;
+        assert!(xy.max_abs_diff(&z.scale(C64::I)) < 1e-12);
+        // X² = I
+        assert!((&x * &x).max_abs_diff(&CMat::identity(2)) < 1e-12);
+        // Tr(X) = 0, Tr(I) = 2
+        assert!(x.trace().abs() < 1e-12);
+        assert!((CMat::identity(2).trace() - C64::real(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitarity_and_hermiticity_checks() {
+        assert!(pauli_x().is_unitary(1e-12));
+        assert!(pauli_x().is_hermitian(1e-12));
+        let skew = CMat::from_real_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(!skew.is_unitary(1e-9));
+        assert!(!skew.is_hermitian(1e-9));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let k = pauli_x().kron(&pauli_z());
+        assert_eq!(k.rows(), 4);
+        // (X⊗Z)[0,2] = X[0,1]·Z[0,0] = 1
+        assert!(k[(0, 2)].approx_eq(C64::ONE, 1e-12));
+        assert!(k[(1, 3)].approx_eq(C64::real(-1.0), 1e-12));
+        assert!(k.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn kron_mixed_product_law() {
+        let a = pauli_x();
+        let b = pauli_y();
+        let c = pauli_z();
+        let d = CMat::identity(2);
+        // (A⊗B)(C⊗D) = AC ⊗ BD
+        let lhs = &a.kron(&b) * &c.kron(&d);
+        let rhs = (&a * &c).kron(&(&b * &d));
+        assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn determinant_and_inverse() {
+        let m = CMat::from_rows(&[
+            &[C64::new(2.0, 1.0), C64::new(0.0, -1.0)],
+            &[C64::new(1.0, 0.0), C64::new(3.0, 2.0)],
+        ]);
+        let det = m.det();
+        // det = (2+i)(3+2i) - (-i)(1) = 4+7i + i = 4 + 8i
+        assert!(det.approx_eq(C64::new(4.0, 8.0), 1e-10));
+        let inv = m.inverse().expect("invertible");
+        assert!((&m * &inv).max_abs_diff(&CMat::identity(2)) < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = CMat::from_real_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(m.det().abs() < 1e-12);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn solve_linear_system() {
+        let a = CMat::from_real_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let x_true = [C64::real(1.0), C64::real(-2.0), C64::real(0.5)];
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).expect("solvable");
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!(xi.approx_eq(*ti, 1e-10));
+        }
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let a = pauli_x();
+        let b = pauli_y();
+        let lhs = (&a * &b).dagger();
+        let rhs = &b.dagger() * &a.dagger();
+        assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn phase_invariant_diff_ignores_global_phase() {
+        let u = pauli_y();
+        let v = u.scale(C64::cis(0.9));
+        assert!(u.phase_invariant_diff(&v) < 1e-12);
+        assert!(u.max_abs_diff(&v) > 0.1);
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_product() {
+        let a = pauli_y();
+        let v = [C64::new(0.6, 0.0), C64::new(0.0, 0.8)];
+        let got = a.mul_vec(&v);
+        assert!(got[0].approx_eq(C64::new(0.8, 0.0), 1e-12));
+        assert!(got[1].approx_eq(C64::new(0.0, 0.6), 1e-12));
+    }
+}

@@ -1,0 +1,139 @@
+//! Polynomial root finding and characteristic polynomials.
+//!
+//! Used by the compiler's Weyl-chamber analysis: the local-equivalence class
+//! of a two-qubit unitary is read off the eigenvalues of a 4×4 complex
+//! matrix, which we obtain as roots of its characteristic polynomial.
+
+use crate::complex::C64;
+use crate::mat::CMat;
+
+/// Coefficients of the monic characteristic polynomial
+/// `λⁿ + c[n-1]·λⁿ⁻¹ + … + c[0]` of a square matrix, computed with the
+/// Faddeev–LeVerrier recurrence.
+pub fn characteristic_polynomial(a: &CMat) -> Vec<C64> {
+    assert!(a.is_square(), "characteristic polynomial of square matrix");
+    let n = a.rows();
+    let mut coeffs = vec![C64::ZERO; n]; // c[0..n], monic leading 1 implied
+    let mut m = CMat::zeros(n, n);
+    let mut c_prev = C64::ONE;
+    for k in 1..=n {
+        // M_k = A·M_{k-1} + c_{n-k+1}·I ;  c_{n-k} = -tr(A·M_k)/k
+        m = &(a * &m) + &CMat::identity(n).scale(c_prev);
+        let am = a * &m;
+        let c = am.trace() * C64::real(-1.0 / k as f64);
+        coeffs[n - k] = c;
+        c_prev = c;
+    }
+    coeffs
+}
+
+/// Finds all roots of a monic polynomial with the Durand–Kerner
+/// (Weierstrass) iteration.
+///
+/// `coeffs` holds `c[0..n]` for `λⁿ + c[n-1]λⁿ⁻¹ + … + c[0]`.
+pub fn durand_kerner(coeffs: &[C64]) -> Vec<C64> {
+    let n = coeffs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let eval = |z: C64| -> C64 {
+        let mut acc = C64::ONE;
+        for &c in coeffs.iter().rev() {
+            acc = acc * z + c;
+        }
+        acc
+    };
+    // Standard non-real, non-unit-modulus starting points.
+    let seed = C64::new(0.4, 0.9);
+    let mut roots: Vec<C64> = (0..n).map(|k| seed.powi(k as i32 + 1)).collect();
+    for _iter in 0..200 {
+        let mut max_step = 0.0_f64;
+        for i in 0..n {
+            let mut denom = C64::ONE;
+            for j in 0..n {
+                if i != j {
+                    denom *= roots[i] - roots[j];
+                }
+            }
+            if denom.abs() < 1e-300 {
+                // Perturb coincident estimates.
+                roots[i] += C64::new(1e-8, 1e-8);
+                continue;
+            }
+            let step = eval(roots[i]) / denom;
+            roots[i] -= step;
+            max_step = max_step.max(step.abs());
+        }
+        if max_step < 1e-14 {
+            break;
+        }
+    }
+    roots
+}
+
+/// Eigenvalues of a general (not necessarily Hermitian) square complex
+/// matrix via its characteristic polynomial. Practical for the small
+/// (≤ 4×4) matrices that arise in two-qubit gate analysis.
+pub fn eigenvalues(a: &CMat) -> Vec<C64> {
+    durand_kerner(&characteristic_polynomial(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charpoly_of_diagonal() {
+        let a = CMat::diag(&[C64::real(1.0), C64::real(2.0)]);
+        // (λ-1)(λ-2) = λ² - 3λ + 2
+        let c = characteristic_polynomial(&a);
+        assert!(c[1].approx_eq(C64::real(-3.0), 1e-10));
+        assert!(c[0].approx_eq(C64::real(2.0), 1e-10));
+    }
+
+    #[test]
+    fn roots_of_quadratic() {
+        // λ² + 1 → ±i
+        let roots = durand_kerner(&[C64::ONE, C64::ZERO]);
+        let mut mags: Vec<f64> = roots.iter().map(|r| (r.re.abs(), r.im)).map(|(re, im)| re + (im.abs() - 1.0).abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for r in &roots {
+            assert!(r.re.abs() < 1e-8);
+            assert!((r.im.abs() - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_of_pauli_y() {
+        let y = CMat::from_rows(&[
+            &[C64::ZERO, C64::imag(-1.0)],
+            &[C64::imag(1.0), C64::ZERO],
+        ]);
+        let mut ev: Vec<f64> = eigenvalues(&y).iter().map(|z| z.re).collect();
+        ev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((ev[0] + 1.0).abs() < 1e-8);
+        assert!((ev[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigenvalues_of_unitary_lie_on_circle() {
+        // A 4×4 unitary: kron of two rotations.
+        use crate::eig::unitary_exp;
+        let x = CMat::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let u1 = unitary_exp(&x.scale(C64::real(0.5)), 0.7);
+        let u2 = unitary_exp(&x.scale(C64::real(0.5)), 1.9);
+        let u = u1.kron(&u2);
+        for ev in eigenvalues(&u) {
+            assert!((ev.abs() - 1.0).abs() < 1e-7, "eigenvalue off unit circle: {ev}");
+        }
+    }
+
+    #[test]
+    fn repeated_roots_converge() {
+        // (λ-1)² = λ² - 2λ + 1
+        let roots = durand_kerner(&[C64::ONE, C64::real(-2.0)]);
+        for r in &roots {
+            assert!(r.approx_eq(C64::ONE, 1e-5), "repeated root estimate {r}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Single-qubit unitary analysis.
+
+use quant_math::CMat;
+
+/// Decomposes a 2×2 unitary as `U = e^{iφ}·Rz(a)·Rx(θ)·Rz(c)`.
+///
+/// Returns `(a, θ, c)` with `θ ∈ [0, π]`. At the degenerate points
+/// (θ = 0 or θ = π) only the sum or difference of `a` and `c` is defined;
+/// the surplus freedom is resolved by setting `c = 0`.
+///
+/// This is the workhorse behind the device calibration's empirical phase
+/// correction (the paper's §4.4): the measured pulse propagator is reduced
+/// to ZXZ form, and the Z factors are compensated with free virtual-Z frame
+/// changes so the pulse acts as a pure X rotation.
+pub fn euler_zxz(u: &CMat) -> (f64, f64, f64) {
+    assert!(u.rows() == 2 && u.cols() == 2, "euler_zxz expects 2×2");
+    let u00 = u[(0, 0)];
+    let u01 = u[(0, 1)];
+    let u10 = u[(1, 0)];
+    let u11 = u[(1, 1)];
+    let cos_half = u00.abs().clamp(0.0, 1.0);
+    let sin_half = u10.abs().clamp(0.0, 1.0);
+    let theta = 2.0 * sin_half.atan2(cos_half);
+    const EPS: f64 = 1e-9;
+    if sin_half < EPS {
+        // θ ≈ 0: U ≈ phase·Rz(a+c). arg(U11/U00) = a + c.
+        let sum = (u11 / u00).arg();
+        return (sum, 0.0, 0.0);
+    }
+    if cos_half < EPS {
+        // θ ≈ π: only a − c defined. arg(U10/U01) = a − c.
+        let diff = (u10 / u01).arg();
+        return (diff, std::f64::consts::PI, 0.0);
+    }
+    let sum = (u11 / u00).arg(); // a + c (mod 2π)
+    let diff = (u10 / u01).arg(); // a − c (mod 2π)
+    let a = (sum + diff) / 2.0;
+    let c = (sum - diff) / 2.0;
+    // The halving is ambiguous by π: (a, c) and (a+π, c+π) reconstruct
+    // Rx(θ) with opposite sign. Pick the branch that matches U.
+    let recon = |a: f64, c: f64| -> CMat {
+        let (ch, sh) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        let rz = |x: f64| {
+            CMat::diag(&[
+                quant_math::C64::cis(-x / 2.0),
+                quant_math::C64::cis(x / 2.0),
+            ])
+        };
+        let rx = CMat::from_rows(&[
+            &[quant_math::C64::real(ch), quant_math::C64::imag(-sh)],
+            &[quant_math::C64::imag(-sh), quant_math::C64::real(ch)],
+        ]);
+        &(&rz(a) * &rx) * &rz(c)
+    };
+    if u.phase_invariant_diff(&recon(a, c))
+        <= u.phase_invariant_diff(&recon(a + std::f64::consts::PI, c + std::f64::consts::PI))
+    {
+        (a, theta, c)
+    } else {
+        (a + std::f64::consts::PI, theta, c + std::f64::consts::PI)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    fn recompose(a: f64, theta: f64, c: f64) -> CMat {
+        &(&gates::rz(a) * &gates::rx(theta)) * &gates::rz(c)
+    }
+
+    #[test]
+    fn round_trip_generic() {
+        for &(a, t, c) in &[
+            (0.3, 1.1, -0.7),
+            (-1.2, 2.5, 0.4),
+            (2.0, 0.8, 2.9),
+            (0.0, 1.57, 0.0),
+        ] {
+            let u = recompose(a, t, c);
+            let (a2, t2, c2) = euler_zxz(&u);
+            let u2 = recompose(a2, t2, c2);
+            assert!(
+                u.phase_invariant_diff(&u2) < 1e-9,
+                "({a},{t},{c}) → ({a2},{t2},{c2})"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_and_x() {
+        let (_, t, _) = euler_zxz(&CMat::identity(2));
+        assert!(t.abs() < 1e-9);
+        let (a, t, c) = euler_zxz(&gates::x());
+        assert!((t - std::f64::consts::PI).abs() < 1e-9);
+        let u2 = recompose(a, t, c);
+        assert!(gates::x().phase_invariant_diff(&u2) < 1e-9);
+    }
+
+    #[test]
+    fn pure_rz() {
+        let u = gates::rz(0.9);
+        let (a, t, c) = euler_zxz(&u);
+        assert!(t.abs() < 1e-9);
+        assert!((a + c - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hadamard() {
+        let (a, t, c) = euler_zxz(&gates::h());
+        let u2 = recompose(a, t, c);
+        assert!(gates::h().phase_invariant_diff(&u2) < 1e-9);
+    }
+}

@@ -1,0 +1,192 @@
+//! Standard Kraus channels for the noise model.
+//!
+//! The device simulator composes these per scheduled pulse: thermal
+//! relaxation scaled by pulse duration (§8.3 source 1 — shorter pulses
+//! decohere less), a coherent error channel carrying residual calibration
+//! error (source 2), and a leakage channel whose strength grows with pulse
+//! amplitude (source 3).
+
+use quant_math::{C64, CMat};
+
+/// Amplitude damping with decay probability `gamma`: |1⟩ relaxes to |0⟩.
+pub fn amplitude_damping(gamma: f64) -> Vec<CMat> {
+    assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+    let k0 = CMat::from_real_rows(&[&[1.0, 0.0], &[0.0, (1.0 - gamma).sqrt()]]);
+    let k1 = CMat::from_real_rows(&[&[0.0, gamma.sqrt()], &[0.0, 0.0]]);
+    vec![k0, k1]
+}
+
+/// Phase damping with dephasing probability `lambda`.
+pub fn phase_damping(lambda: f64) -> Vec<CMat> {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+    let k0 = CMat::from_real_rows(&[&[1.0, 0.0], &[0.0, (1.0 - lambda).sqrt()]]);
+    let k1 = CMat::from_real_rows(&[&[0.0, 0.0], &[0.0, lambda.sqrt()]]);
+    vec![k0, k1]
+}
+
+/// Single-qubit depolarizing channel with error probability `p`.
+pub fn depolarizing(p: f64) -> Vec<CMat> {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let x = CMat::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+    let y = CMat::from_rows(&[&[C64::ZERO, C64::imag(-1.0)], &[C64::imag(1.0), C64::ZERO]]);
+    let z = CMat::from_real_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+    vec![
+        CMat::identity(2).scale(C64::real((1.0 - 3.0 * p / 4.0).sqrt())),
+        x.scale(C64::real((p / 4.0).sqrt())),
+        y.scale(C64::real((p / 4.0).sqrt())),
+        z.scale(C64::real((p / 4.0).sqrt())),
+    ]
+}
+
+/// Two-qubit depolarizing channel with error probability `p` (uniform over
+/// the 15 non-identity Pauli pairs).
+pub fn depolarizing_2q(p: f64) -> Vec<CMat> {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let i = CMat::identity(2);
+    let x = CMat::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+    let y = CMat::from_rows(&[&[C64::ZERO, C64::imag(-1.0)], &[C64::imag(1.0), C64::ZERO]]);
+    let z = CMat::from_real_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+    let paulis = [i, x, y, z];
+    let mut kraus = Vec::with_capacity(16);
+    for (a, pa) in paulis.iter().enumerate() {
+        for (b, pb) in paulis.iter().enumerate() {
+            let weight = if a == 0 && b == 0 {
+                (1.0 - 15.0 * p / 16.0).sqrt()
+            } else {
+                (p / 16.0).sqrt()
+            };
+            kraus.push(pb.kron(pa).scale(C64::real(weight)));
+        }
+    }
+    kraus
+}
+
+/// Thermal relaxation over duration `t` (same units as `t1`, `t2`):
+/// amplitude damping at rate `1/T1` composed with pure dephasing so the
+/// total coherence decay matches `1/T2`.
+///
+/// Requires the physical condition `T2 ≤ 2·T1`.
+pub fn thermal_relaxation(t: f64, t1: f64, t2: f64) -> Vec<Vec<CMat>> {
+    assert!(t >= 0.0 && t1 > 0.0 && t2 > 0.0, "times must be positive");
+    assert!(t2 <= 2.0 * t1 + 1e-9, "unphysical T2 > 2·T1");
+    let gamma = 1.0 - (-t / t1).exp();
+    // Pure-dephasing rate: 1/Tφ = 1/T2 − 1/(2T1).
+    let inv_tphi = (1.0 / t2 - 1.0 / (2.0 * t1)).max(0.0);
+    let lambda = 1.0 - (-2.0 * t * inv_tphi).exp();
+    vec![amplitude_damping(gamma), phase_damping(lambda)]
+}
+
+/// A purely coherent error channel: the single Kraus operator `U`.
+pub fn coherent(u: CMat) -> Vec<CMat> {
+    debug_assert!(u.is_unitary(1e-8), "coherent error must be unitary");
+    vec![u]
+}
+
+/// Qutrit relaxation ladder: |2⟩→|1⟩ with probability `g21` and |1⟩→|0⟩
+/// with probability `g10`, in one step (sequential two-level amplitude
+/// damping on each rung).
+pub fn qutrit_relaxation(g10: f64, g21: f64) -> Vec<CMat> {
+    assert!((0.0..=1.0).contains(&g10) && (0.0..=1.0).contains(&g21));
+    // Kraus set for the two independent decay processes combined:
+    // K0 = diag(1, √(1-g10), √(1-g21)), K1 = √g10 |0⟩⟨1|, K2 = √g21 |1⟩⟨2|.
+    let k0 = CMat::diag(&[
+        C64::ONE,
+        C64::real((1.0 - g10).sqrt()),
+        C64::real((1.0 - g21).sqrt()),
+    ]);
+    let mut k1 = CMat::zeros(3, 3);
+    k1[(0, 1)] = C64::real(g10.sqrt());
+    let mut k2 = CMat::zeros(3, 3);
+    k2[(1, 2)] = C64::real(g21.sqrt());
+    vec![k0, k1, k2]
+}
+
+/// Qutrit dephasing: phase damping on both the 0–1 and 0–2 coherences.
+pub fn qutrit_dephasing(lambda: f64) -> Vec<CMat> {
+    assert!((0.0..=1.0).contains(&lambda));
+    let keep = (1.0 - lambda).sqrt();
+    let k0 = CMat::diag(&[C64::ONE, C64::real(keep), C64::real(keep)]);
+    let mut k1 = CMat::zeros(3, 3);
+    k1[(1, 1)] = C64::real(lambda.sqrt());
+    let mut k2 = CMat::zeros(3, 3);
+    k2[(2, 2)] = C64::real(lambda.sqrt());
+    vec![k0, k1, k2]
+}
+
+/// Coherent leakage-free approximation of amplitude-dependent leakage for a
+/// *qubit-subspace* simulation: models population loss to |2⟩ as an
+/// effective amplitude-damping-like channel of strength `p_leak`, applied to
+/// the |1⟩ population, with the leaked weight deposited in |0⟩⟨0| mixing.
+///
+/// When the register models the qutrit explicitly use
+/// [`qutrit_relaxation`]-style channels instead; this is the 2-level
+/// surrogate used by the fast executor tier.
+pub fn leakage_surrogate(p_leak: f64) -> Vec<CMat> {
+    assert!((0.0..=1.0).contains(&p_leak));
+    // Treat leakage as a phase-insensitive population scrambler of weight
+    // p_leak on |1⟩: combination of amplitude damping and dephasing.
+    let k0 = CMat::from_real_rows(&[&[1.0, 0.0], &[0.0, (1.0 - p_leak).sqrt()]]);
+    let k1 = CMat::from_real_rows(&[&[0.0, (p_leak / 2.0).sqrt()], &[0.0, 0.0]]);
+    let mut k2 = CMat::zeros(2, 2);
+    k2[(1, 1)] = C64::real((p_leak / 2.0).sqrt());
+    vec![k0, k1, k2]
+}
+
+/// Verifies the Kraus completeness relation `Σ K†K = I` to tolerance.
+pub fn is_trace_preserving(kraus: &[CMat], tol: f64) -> bool {
+    if kraus.is_empty() {
+        return false;
+    }
+    let n = kraus[0].rows();
+    let mut sum = CMat::zeros(n, n);
+    for k in kraus {
+        sum = &sum + &(&k.dagger() * k);
+    }
+    sum.max_abs_diff(&CMat::identity(n)) <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_channels_trace_preserving() {
+        assert!(is_trace_preserving(&amplitude_damping(0.3), 1e-10));
+        assert!(is_trace_preserving(&phase_damping(0.7), 1e-10));
+        assert!(is_trace_preserving(&depolarizing(0.25), 1e-10));
+        assert!(is_trace_preserving(&depolarizing_2q(0.1), 1e-10));
+        assert!(is_trace_preserving(&qutrit_relaxation(0.2, 0.4), 1e-10));
+        assert!(is_trace_preserving(&qutrit_dephasing(0.5), 1e-10));
+        assert!(is_trace_preserving(&leakage_surrogate(0.15), 1e-10));
+        for stage in thermal_relaxation(10.0, 94_000.0, 88_000.0) {
+            assert!(is_trace_preserving(&stage, 1e-10));
+        }
+    }
+
+    #[test]
+    fn thermal_relaxation_limits() {
+        // t = 0 → identity channel.
+        let stages = thermal_relaxation(0.0, 100.0, 80.0);
+        for stage in &stages {
+            // First Kraus op should be I, others zero.
+            assert!(stage[0].max_abs_diff(&CMat::identity(2)) < 1e-10);
+        }
+        // Very long t → gamma ≈ 1.
+        let stages = thermal_relaxation(1e6, 100.0, 80.0);
+        assert!((stages[0][1][(0, 1)].re - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unphysical")]
+    fn rejects_t2_beyond_twice_t1() {
+        thermal_relaxation(1.0, 10.0, 25.0);
+    }
+
+    #[test]
+    fn depolarizing_extremes() {
+        // p = 0 → only the identity Kraus op has weight.
+        let k = depolarizing(0.0);
+        assert!(k[0].max_abs_diff(&CMat::identity(2)) < 1e-12);
+        assert!(k[1].frobenius_norm() < 1e-12);
+    }
+}

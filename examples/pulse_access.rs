@@ -1,0 +1,72 @@
+//! Raw pulse-level access: build your *own* augmented basis gate, the way
+//! the paper's §4 does — pull the calibrated Rx(180°) out of the backend's
+//! cmd_def, scale its amplitude, and verify against the device physics
+//! that you just made a high-fidelity Rx(θ) out of thin air.
+//!
+//! ```text
+//! cargo run --release --example pulse_access
+//! ```
+
+use openpulse_repro::device::{calibrate, DeviceModel, DT};
+use openpulse_repro::math::seeded;
+use openpulse_repro::pulse::{Channel, Instruction, Schedule};
+use openpulse_repro::sim::{euler_zxz, gates};
+
+fn main() {
+    let mut rng = seeded(99);
+    let device = DeviceModel::almaden_like(1, &mut rng);
+    let calibration = calibrate(&device, &mut rng);
+
+    // 1. Inspect the backend-reported pulse library (cmd_def).
+    println!("backend cmd_def entries:");
+    for (key, schedule) in calibration.cmd_def().iter() {
+        println!(
+            "  {key:<14} {:>5} dt  {:>2} pulses",
+            schedule.duration(),
+            schedule.pulse_count()
+        );
+    }
+
+    // 2. Extract the calibrated π pulse — the hardware primitive that the
+    //    CNOT calibration provides "for free" (§2.3).
+    let rx180 = calibration.qubit(0).rx180_waveform("rx180");
+    println!(
+        "\ncalibrated Rx(180°): {} samples, peak amplitude {:.4}, area {:.2} amp·dt",
+        rx180.duration(),
+        rx180.peak(),
+        rx180.area().re
+    );
+
+    // 3. Make new gates by scaling the amplitude (§4.2's DirectRx).
+    let transmon = device.transmon_cal(0);
+    println!("\n{:>8} {:>12} {:>14}", "θ (deg)", "duration", "angle achieved");
+    for target_deg in [30.0_f64, 45.0, 60.0, 90.0, 120.0, 150.0] {
+        let scale = target_deg / 180.0;
+        let scaled = rx180.scaled(scale);
+        let mut s = Schedule::new("direct_rx");
+        s.append(Instruction::Play {
+            waveform: scaled,
+            channel: Channel::Drive(0),
+        });
+        let u = transmon.integrate(&s, Channel::Drive(0)).qubit_block();
+        let (_, theta, _) = euler_zxz(&u);
+        println!(
+            "{target_deg:>8.0} {:>9.1} ns {:>13.2}°",
+            rx180.duration() as f64 * DT * 1e9,
+            theta.to_degrees()
+        );
+    }
+
+    // 4. Sanity: the full-amplitude pulse is the X gate.
+    let mut s = Schedule::new("x");
+    s.append(Instruction::Play {
+        waveform: calibration.qubit(0).rx180_waveform("x"),
+        channel: Channel::Drive(0),
+    });
+    let u = transmon.integrate(&s, Channel::Drive(0)).qubit_block();
+    println!(
+        "\nfull pulse vs X matrix: deviation {:.4} (phase-corrected paths in the \
+         compiler bring this below 1e-2)",
+        u.phase_invariant_diff(&gates::x())
+    );
+}

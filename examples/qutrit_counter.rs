@@ -1,0 +1,63 @@
+//! The base-3 qutrit counter (paper §7): drive the |0⟩→|1⟩→|2⟩→|0⟩ cycle
+//! with frequency-shifted pulses — something no single *qubit* can do —
+//! and read the state back through simulated resonator IQ points and a
+//! from-scratch linear discriminant.
+//!
+//! ```text
+//! cargo run --release --example qutrit_counter
+//! ```
+
+use openpulse_repro::algorithms::{calibrate_qutrit, counter_schedule};
+use openpulse_repro::characterization::Lda;
+use openpulse_repro::device::{calibrate, readout, DeviceModel, PulseExecutor};
+use openpulse_repro::math::seeded;
+
+fn main() {
+    let mut rng = seeded(42);
+    let device = DeviceModel::almaden_like(1, &mut rng);
+    let calibration = calibrate(&device, &mut rng);
+
+    // Tune up the three transitions (f01, f12, f02/2).
+    let pulses = calibrate_qutrit(&device, &calibration);
+    println!("qutrit pulse calibration:");
+    println!(
+        "  x01: {} dt at f01;  x12: {} dt at f01{:+.1} MHz;  x02: {} dt at f01{:+.1} MHz",
+        pulses.x01.duration(),
+        pulses.x12.duration(),
+        pulses.f12_offset / 1e6,
+        pulses.x02.duration(),
+        pulses.f02_offset / 1e6,
+    );
+
+    // Train the IQ discriminator on calibration shots.
+    let mut pts = Vec::new();
+    let mut lbl = Vec::new();
+    for level in 0..3usize {
+        for _ in 0..1000 {
+            pts.push(readout::sample_iq(device.readout(0), level, &mut rng));
+            lbl.push(level);
+        }
+    }
+    let lda = Lda::train(&pts, &lbl, 3);
+    println!(
+        "  IQ discriminator accuracy: {:.1}%\n",
+        100.0 * lda.accuracy(&pts, &lbl)
+    );
+
+    // Count!
+    let exec = PulseExecutor::new(&device);
+    println!("{:>7} {:>7} {:>8} {:>8} {:>8}", "cycles", "hops", "P(|0⟩)", "P(|1⟩)", "P(|2⟩)");
+    for cycles in [1usize, 3, 10, 30, 60] {
+        let schedule = counter_schedule(&pulses, cycles);
+        let out = exec.run_qutrit(&schedule, &mut rng);
+        println!(
+            "{cycles:>7} {:>7} {:>7.1}% {:>7.1}% {:>7.1}%",
+            3 * cycles,
+            100.0 * out.populations[0],
+            100.0 * out.populations[1],
+            100.0 * out.populations[2],
+        );
+    }
+    println!("\nA full cycle returns the qutrit to |0⟩; residual population in");
+    println!("|1⟩/|2⟩ grows with cycle count — the paper's Fig. 11 right panel.");
+}

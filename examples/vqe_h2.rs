@@ -1,0 +1,83 @@
+//! VQE for molecular hydrogen, end to end: classical optimization of the
+//! UCC ansatz on the ideal simulator, then evaluation of the ground-state
+//! energy on the noisy simulated backend under both compilation flows.
+//!
+//! ```text
+//! cargo run --release --example vqe_h2
+//! ```
+
+use openpulse_repro::algorithms::{molecules, pauli::PauliSum, vqe};
+use openpulse_repro::characterization::Mitigator;
+use openpulse_repro::compiler::{CompileMode, Compiler};
+use openpulse_repro::device::{calibrate, DeviceModel, PulseExecutor};
+use openpulse_repro::math::seeded;
+
+/// Measures ⟨H⟩ of the solved ansatz on the device under one compile mode.
+fn measure_energy(
+    device: &DeviceModel,
+    calibration: &openpulse_repro::device::Calibration,
+    hamiltonian: &PauliSum,
+    theta: f64,
+    mode: CompileMode,
+    shots: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = seeded(seed);
+    let mitigator = Mitigator::from_calibration(
+        &[device.readout(0).p1_given_0, device.readout(1).p1_given_0],
+        &[device.readout(0).p0_given_1, device.readout(1).p0_given_1],
+    );
+    let identity: f64 = hamiltonian
+        .terms()
+        .iter()
+        .filter(|t| t.support().is_empty())
+        .map(|t| t.coeff)
+        .sum();
+    let mut energy = identity;
+    for (term, circuit) in vqe::measurement_circuits(hamiltonian, theta) {
+        let compiled = Compiler::new(device, calibration, mode)
+            .compile(&circuit)
+            .expect("compile");
+        let exec = PulseExecutor::new(device);
+        let out = exec.run(&compiled.program, &mut rng);
+        let counts = out.sample_counts(&mut rng, shots);
+        let total: u64 = counts.iter().sum();
+        let probs: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
+        let mitigated = mitigator.mitigate(&probs);
+        energy += term.expectation_from_distribution(&mitigated);
+    }
+    energy
+}
+
+fn main() {
+    let m = molecules::h2();
+    let exact = m.hamiltonian.ground_energy();
+    let solved = vqe::solve(&m.hamiltonian);
+    println!("H2 VQE (UCC ansatz, 2-qubit reduced Hamiltonian)");
+    println!("  exact ground energy : {exact:+.6} Ha");
+    println!(
+        "  ideal VQE optimum   : {:+.6} Ha at θ = {:.4}\n",
+        solved.energy, solved.theta
+    );
+
+    let mut rng = seeded(11);
+    let device = DeviceModel::almaden_like(2, &mut rng);
+    let calibration = calibrate(&device, &mut rng);
+    for mode in [CompileMode::Standard, CompileMode::Optimized] {
+        let e = measure_energy(
+            &device,
+            &calibration,
+            &m.hamiltonian,
+            solved.theta,
+            mode,
+            8000,
+            77,
+        );
+        println!(
+            "  {mode:?} flow measured energy: {e:+.6} Ha  (error {:+.2} mHa)",
+            1000.0 * (e - exact)
+        );
+    }
+    println!("\nThe optimized flow's shorter, fewer-pulse ansatz circuit sits closer");
+    println!("to the exact energy — the paper's Fig. 12 H2 benchmark in miniature.");
+}

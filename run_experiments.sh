@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure; outputs land in results/.
+set -u
+for bin in table2 fig04_directx fig05_direct_rx fig06_sim_trajectory \
+           fig07_exp_characterization fig08_open_cnot fig09_cr_tomography \
+           fig10_zz_interaction fig11_qutrit_counter fig12_benchmarks \
+           fig13_rb ablation_sources extra_directx_irb extra_zne extra_qaoa_scaling extra_leakage; do
+  echo "=== $bin ==="
+  cargo run --release -p repro-bench --bin "$bin" > "results/$bin.txt" 2>&1 \
+    && echo "ok -> results/$bin.txt" || echo "FAILED (see results/$bin.txt)"
+done

@@ -1,0 +1,18 @@
+//! Facade crate for the OpenPulse-compilation reproduction workspace.
+//!
+//! Re-exports every member crate under a stable namespace so examples and
+//! integration tests can depend on a single package:
+//!
+//! ```
+//! use openpulse_repro::math::C64;
+//! assert_eq!(C64::I * C64::I, C64::real(-1.0));
+//! ```
+
+pub use pulse_compiler as compiler;
+pub use quant_algos as algorithms;
+pub use quant_char as characterization;
+pub use quant_circuit as circuit;
+pub use quant_device as device;
+pub use quant_math as math;
+pub use quant_pulse as pulse;
+pub use quant_sim as sim;

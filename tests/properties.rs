@@ -1,0 +1,196 @@
+//! Property-based tests (proptest) on core invariants across the stack.
+
+use openpulse_repro::characterization::hellinger_distance;
+use openpulse_repro::circuit::{Circuit, Gate};
+use openpulse_repro::compiler::{optimize, to_basis, weyl_coordinates, BasisKind};
+use openpulse_repro::math::{eigh, C64, CMat};
+use openpulse_repro::sim::{channels, euler_zxz, gates, StateVector};
+use proptest::prelude::*;
+
+/// Strategy: a random single-qubit unitary via U3 angles.
+fn arb_u3() -> impl Strategy<Value = CMat> {
+    (
+        0.0..std::f64::consts::PI,
+        -std::f64::consts::PI..std::f64::consts::PI,
+        -std::f64::consts::PI..std::f64::consts::PI,
+    )
+        .prop_map(|(t, p, l)| gates::u3(t, p, l))
+}
+
+/// Strategy: a random 3-qubit circuit from a closed gate vocabulary.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        (0u32..3).prop_map(|q| (Gate::H, vec![q])),
+        (0u32..3).prop_map(|q| (Gate::X, vec![q])),
+        (0u32..3, -3.0..3.0f64).prop_map(|(q, a)| (Gate::Rz(a), vec![q])),
+        (0u32..3, -3.0..3.0f64).prop_map(|(q, a)| (Gate::Rx(a), vec![q])),
+        (0u32..3, -3.0..3.0f64).prop_map(|(q, a)| (Gate::Ry(a), vec![q])),
+        (0u32..2).prop_map(|q| (Gate::Cnot, vec![q, q + 1])),
+        (0u32..2, -3.0..3.0f64).prop_map(|(q, a)| (Gate::Zz(a), vec![q, q + 1])),
+    ];
+    proptest::collection::vec(gate, 1..12).prop_map(|ops| {
+        let mut c = Circuit::new(3);
+        for (g, qs) in ops {
+            c.push(g, &qs);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimizer_preserves_unitary(c in arb_circuit()) {
+        let out = optimize(&c);
+        prop_assert!(
+            c.unitary().phase_invariant_diff(&out.unitary()) < 1e-8,
+            "optimize changed the circuit"
+        );
+    }
+
+    #[test]
+    fn translation_preserves_unitary(c in arb_circuit()) {
+        for kind in [BasisKind::Standard, BasisKind::Augmented] {
+            let t = to_basis(&c, kind);
+            prop_assert!(
+                c.unitary().phase_invariant_diff(&t.unitary()) < 1e-8,
+                "{kind:?} translation changed the circuit"
+            );
+        }
+    }
+
+    #[test]
+    fn euler_zxz_round_trips(u in arb_u3()) {
+        let (a, theta, c) = euler_zxz(&u);
+        let recon = &(&gates::rz(a) * &gates::rx(theta)) * &gates::rz(c);
+        prop_assert!(u.phase_invariant_diff(&recon) < 1e-8);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-9).contains(&theta));
+    }
+
+    #[test]
+    fn weyl_coordinates_local_invariance(
+        l1 in arb_u3(), l2 in arb_u3(), theta in 0.05..1.5f64
+    ) {
+        let base = gates::zz(theta);
+        let dressed = &l1.kron(&l2) * &base;
+        let (a1, a2, a3) = weyl_coordinates(&base);
+        let (b1, b2, b3) = weyl_coordinates(&dressed);
+        prop_assert!((a1 - b1).abs() < 1e-5, "{a1} vs {b1}");
+        prop_assert!((a2 - b2).abs() < 1e-5);
+        prop_assert!((a3 - b3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn channels_are_trace_preserving(
+        g in 0.0..1.0f64, l in 0.0..1.0f64, p in 0.0..1.0f64
+    ) {
+        prop_assert!(channels::is_trace_preserving(&channels::amplitude_damping(g), 1e-9));
+        prop_assert!(channels::is_trace_preserving(&channels::phase_damping(l), 1e-9));
+        prop_assert!(channels::is_trace_preserving(&channels::depolarizing(p), 1e-9));
+        prop_assert!(channels::is_trace_preserving(&channels::qutrit_relaxation(g, l), 1e-9));
+    }
+
+    #[test]
+    fn state_vector_stays_normalized(c in arb_circuit()) {
+        let psi = c.simulate();
+        let total: f64 = psi.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hellinger_is_a_metric_sample(
+        raw_p in proptest::collection::vec(0.01..1.0f64, 4),
+        raw_q in proptest::collection::vec(0.01..1.0f64, 4),
+        raw_r in proptest::collection::vec(0.01..1.0f64, 4),
+    ) {
+        let norm = |v: &[f64]| {
+            let s: f64 = v.iter().sum();
+            v.iter().map(|x| x / s).collect::<Vec<_>>()
+        };
+        let (p, q, r) = (norm(&raw_p), norm(&raw_q), norm(&raw_r));
+        let (pq, qr, pr) = (
+            hellinger_distance(&p, &q),
+            hellinger_distance(&q, &r),
+            hellinger_distance(&p, &r),
+        );
+        prop_assert!((0.0..=1.0).contains(&pq));
+        prop_assert!((pq - hellinger_distance(&q, &p)).abs() < 1e-12, "symmetry");
+        prop_assert!(pr <= pq + qr + 1e-12, "triangle inequality");
+        prop_assert!(hellinger_distance(&p, &p) < 1e-12, "identity");
+    }
+
+    #[test]
+    fn hermitian_eigendecomposition_reconstructs(
+        entries in proptest::collection::vec(-1.0..1.0f64, 16)
+    ) {
+        // Build a 4×4 Hermitian matrix from the raw entries.
+        let mut h = CMat::zeros(4, 4);
+        let mut it = entries.into_iter();
+        for r in 0..4 {
+            for col in r..4 {
+                let re = it.next().unwrap_or(0.0);
+                if r == col {
+                    h[(r, col)] = C64::real(re);
+                } else {
+                    let im = it.next().unwrap_or(0.0);
+                    h[(r, col)] = C64::new(re, im);
+                    h[(col, r)] = C64::new(re, -im);
+                }
+            }
+        }
+        let eig = eigh(&h);
+        let lambda: Vec<C64> = eig.values.iter().map(|&v| C64::real(v)).collect();
+        let recon = &(&eig.vectors * &CMat::diag(&lambda)) * &eig.vectors.dagger();
+        prop_assert!(recon.max_abs_diff(&h) < 1e-8);
+    }
+
+    #[test]
+    fn qasm_print_parse_round_trips(c in arb_circuit()) {
+        use openpulse_repro::circuit::qasm;
+        let text = qasm::print(&c);
+        let back = qasm::parse(&text).expect("printer output must parse");
+        prop_assert_eq!(c.num_qubits(), back.num_qubits());
+        prop_assert!(
+            c.unitary().phase_invariant_diff(&back.unitary()) < 1e-9,
+            "round trip changed the circuit"
+        );
+    }
+
+    #[test]
+    fn routing_preserves_semantics(c in arb_circuit()) {
+        use openpulse_repro::compiler::{route, CouplingMap};
+        let map = CouplingMap::linear(3);
+        let routed = route(&c, &map).expect("3-qubit chain is routable");
+        for op in routed.circuit.ops() {
+            if op.qubits.len() == 2 {
+                prop_assert!(map.adjacent(op.qubits[0], op.qubits[1]));
+            }
+        }
+        // Compare distributions through the final layout permutation.
+        let ideal = c.output_distribution();
+        let got = routed.circuit.output_distribution();
+        let mut expect = vec![0.0; got.len()];
+        for (idx, &p) in ideal.iter().enumerate() {
+            let mut phys = 0usize;
+            for (lq, &pq) in routed.final_layout.iter().enumerate() {
+                if (idx >> lq) & 1 == 1 {
+                    phys |= 1 << pq;
+                }
+            }
+            expect[phys] += p;
+        }
+        for (a, b) in expect.iter().zip(&got) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn circuit_inverse_composes_to_identity(c in arb_circuit()) {
+        let mut full = c.clone();
+        full.extend(&c.inverse());
+        let mut psi = StateVector::zero_qubits(3);
+        full.apply_to(&mut psi);
+        prop_assert!(psi.probabilities()[0] > 1.0 - 1e-9);
+    }
+}
