@@ -91,7 +91,7 @@ impl LineGraph {
                 &opts,
             );
             let cut = -r.fx;
-            if best.as_ref().map_or(true, |b| cut > b.1) {
+            if best.as_ref().is_none_or(|b| cut > b.1) {
                 best = Some(((r.x[0], r.x[1]), cut));
             }
         }

@@ -52,7 +52,7 @@ pub fn solve(hamiltonian: &PauliSum) -> VqeResult {
     let mut best: Option<VqeResult> = None;
     for start in [-1.0, -0.3, 0.1, 0.5, 1.2] {
         let r = nelder_mead(|x| energy(hamiltonian, x[0]), &[start], &opts);
-        if best.as_ref().map_or(true, |b| r.fx < b.energy) {
+        if best.as_ref().is_none_or(|b| r.fx < b.energy) {
             best = Some(VqeResult {
                 theta: r.x[0],
                 energy: r.fx,

@@ -1,94 +1,76 @@
-//! Criterion benchmarks for the compiler itself: pass pipeline, basis
-//! translation, full compilation, and the two-qubit decomposer.
+//! Timing benchmarks for the compiler itself: pass pipeline, basis
+//! translation, full compilation, routing, and the two-qubit decomposer.
+//!
+//! Plain wall-clock harness (`cargo bench -p repro-bench --bench compiler`);
+//! the environment is offline, so no criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pulse_compiler::decompose::{synthesize_with_uses, DecomposeOptions, NativeGate};
-use pulse_compiler::{optimize, to_basis, BasisKind, CompileMode, Compiler};
+use pulse_compiler::{optimize, route, to_basis, BasisKind, CompileMode, Compiler, CouplingMap};
 use quant_algos::LineGraph;
 use quant_device::{calibrate, DeviceModel};
 use quant_math::seeded;
 use quant_sim::gates;
+use repro_bench::timing::bench;
 
 fn qaoa_circuit() -> quant_circuit::Circuit {
     LineGraph::new(4).qaoa_circuit(&[(0.9, 0.4)])
 }
 
-fn bench_passes(c: &mut Criterion) {
+fn main() {
     let circuit = qaoa_circuit();
-    c.bench_function("optimize_pass_pipeline_qaoa4", |b| {
-        b.iter(|| optimize(std::hint::black_box(&circuit)))
+    bench("optimize_pass_pipeline_qaoa4", 10, || {
+        std::hint::black_box(optimize(std::hint::black_box(&circuit)));
     });
-    c.bench_function("translate_standard_qaoa4", |b| {
-        b.iter(|| to_basis(std::hint::black_box(&circuit), BasisKind::Standard))
+    bench("translate_standard_qaoa4", 10, || {
+        std::hint::black_box(to_basis(std::hint::black_box(&circuit), BasisKind::Standard));
     });
-}
 
-fn bench_full_compile(c: &mut Criterion) {
     let device = DeviceModel::ideal(4);
     let mut rng = seeded(1);
     let cal = calibrate(&device, &mut rng);
-    let circuit = qaoa_circuit();
     for (name, mode) in [
         ("compile_standard_qaoa4", CompileMode::Standard),
         ("compile_optimized_qaoa4", CompileMode::Optimized),
     ] {
         let compiler = Compiler::new(&device, &cal, mode);
-        c.bench_function(name, |b| {
-            b.iter(|| compiler.compile(std::hint::black_box(&circuit)).unwrap())
+        bench(name, 10, || {
+            std::hint::black_box(compiler.compile(std::hint::black_box(&circuit)).unwrap());
         });
     }
-}
 
-fn bench_compile_scaling(c: &mut Criterion) {
     // Compilation cost vs circuit width (QAOA layers over a chain).
-    let mut group = c.benchmark_group("compile_scaling");
     for n in [2usize, 4, 6] {
         let device = DeviceModel::ideal(n);
         let mut rng = seeded(2);
         let cal = calibrate(&device, &mut rng);
         let circuit = LineGraph::new(n).qaoa_circuit(&[(0.9, 0.4)]);
         let compiler = Compiler::new(&device, &cal, CompileMode::Optimized);
-        group.bench_function(format!("qaoa_{n}q_optimized"), |b| {
-            b.iter(|| compiler.compile(std::hint::black_box(&circuit)).unwrap())
+        bench(&format!("compile_scaling/qaoa_{n}q_optimized"), 10, || {
+            std::hint::black_box(compiler.compile(std::hint::black_box(&circuit)).unwrap());
         });
     }
-    group.finish();
-}
 
-fn bench_routing(c: &mut Criterion) {
-    use pulse_compiler::{route, CouplingMap};
     let map = CouplingMap::almaden_twenty();
-    let mut circuit = quant_circuit::Circuit::new(12);
-    circuit.h(0);
+    let mut routed = quant_circuit::Circuit::new(12);
+    routed.h(0);
     for (a, b) in [(0u32, 11u32), (3, 8), (11, 2), (5, 9), (7, 0), (4, 10)] {
-        circuit.cnot(a, b);
+        routed.cnot(a, b);
     }
-    c.bench_function("route_12q_on_almaden20", |b| {
-        b.iter(|| route(std::hint::black_box(&circuit), &map).unwrap())
+    bench("route_12q_on_almaden20", 10, || {
+        std::hint::black_box(route(std::hint::black_box(&routed), &map).unwrap());
     });
-}
 
-fn bench_decomposer(c: &mut Criterion) {
     let opts = DecomposeOptions {
         restarts: 2,
         max_evals: 2000,
         ..Default::default()
     };
-    c.bench_function("synthesize_cnot_from_cr90", |b| {
-        b.iter(|| {
-            synthesize_with_uses(
-                std::hint::black_box(&gates::cnot()),
-                NativeGate::Cr90,
-                1,
-                &opts,
-            )
-        })
+    bench("synthesize_cnot_from_cr90", 10, || {
+        std::hint::black_box(synthesize_with_uses(
+            std::hint::black_box(&gates::cnot()),
+            NativeGate::Cr90,
+            1,
+            &opts,
+        ));
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_passes, bench_full_compile, bench_compile_scaling, bench_routing, bench_decomposer
-}
-criterion_main!(benches);

@@ -1,14 +1,17 @@
-//! Criterion benchmarks for the simulation substrates: pulse integration,
+//! Timing benchmarks for the simulation substrates: pulse integration,
 //! density-matrix channels, and the noisy executor.
+//!
+//! Plain wall-clock harness (`cargo bench -p repro-bench --bench simulator`);
+//! the environment is offline, so no criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pulse_compiler::{CompileMode, Compiler};
 use quant_device::{calibrate, DeviceModel, PulseExecutor};
 use quant_math::seeded;
 use quant_pulse::Drag;
 use quant_sim::{channels, gates, DensityMatrix, StateVector};
+use repro_bench::timing::bench;
 
-fn bench_pulse_integration(c: &mut Criterion) {
+fn main() {
     let device = DeviceModel::ideal(1);
     let transmon = device.transmon_cal(0);
     let w = Drag {
@@ -18,39 +21,29 @@ fn bench_pulse_integration(c: &mut Criterion) {
         beta: 2.0,
     }
     .waveform("w");
-    c.bench_function("transmon_integrate_160_samples", |b| {
-        b.iter(|| transmon.integrate_waveform(std::hint::black_box(&w)))
+    bench("transmon_integrate_160_samples", 20, || {
+        std::hint::black_box(transmon.integrate_waveform(std::hint::black_box(&w)));
     });
-}
 
-fn bench_state_vector(c: &mut Criterion) {
-    c.bench_function("statevector_ghz_10q", |b| {
-        b.iter(|| {
-            let mut psi = StateVector::zero_qubits(10);
-            psi.apply_unitary(&gates::h(), &[0]);
-            for q in 0..9 {
-                psi.apply_unitary(&gates::cnot(), &[q, q + 1]);
-            }
-            psi.probabilities()
-        })
+    bench("statevector_ghz_10q", 10, || {
+        let mut psi = StateVector::zero_qubits(10);
+        psi.apply_unitary(&gates::h(), &[0]);
+        for q in 0..9 {
+            psi.apply_unitary(&gates::cnot(), &[q, q + 1]);
+        }
+        std::hint::black_box(psi.probabilities());
     });
-}
 
-fn bench_density_matrix(c: &mut Criterion) {
-    c.bench_function("density_matrix_channel_5q", |b| {
-        b.iter(|| {
-            let mut rho = DensityMatrix::zero_qubits(5);
-            rho.apply_unitary(&gates::h(), &[0]);
-            for q in 0..4 {
-                rho.apply_unitary(&gates::cnot(), &[q, q + 1]);
-                rho.apply_kraus(&channels::amplitude_damping(0.01), &[q]);
-            }
-            rho.probabilities()
-        })
+    bench("density_matrix_channel_5q", 10, || {
+        let mut rho = DensityMatrix::zero_qubits(5);
+        rho.apply_unitary(&gates::h(), &[0]);
+        for q in 0..4 {
+            rho.apply_unitary(&gates::cnot(), &[q, q + 1]);
+            rho.apply_kraus(&channels::amplitude_damping(0.01), &[q]);
+        }
+        std::hint::black_box(rho.probabilities());
     });
-}
 
-fn bench_executor(c: &mut Criterion) {
     let device = DeviceModel::ideal(2);
     let mut rng = seeded(3);
     let cal = calibrate(&device, &mut rng);
@@ -60,17 +53,8 @@ fn bench_executor(c: &mut Criterion) {
         .compile(&circuit)
         .unwrap();
     let exec = PulseExecutor::new(&device);
-    c.bench_function("executor_bell_pair_noisy", |b| {
-        b.iter(|| {
-            let mut rng = seeded(4);
-            exec.run(std::hint::black_box(&compiled.program), &mut rng)
-        })
+    bench("executor_bell_pair_noisy", 10, || {
+        let mut rng = seeded(4);
+        std::hint::black_box(exec.run(std::hint::black_box(&compiled.program), &mut rng));
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_pulse_integration, bench_state_vector, bench_density_matrix, bench_executor
-}
-criterion_main!(benches);

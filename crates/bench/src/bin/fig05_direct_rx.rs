@@ -7,7 +7,7 @@
 use pulse_compiler::{CompileMode, Compiler};
 use quant_char::tomography::{bloch_from_p0, Axis, BlochVector};
 use quant_circuit::Circuit;
-use quant_device::PulseExecutor;
+use quant_device::{PulseExecutor, ShotPool};
 use quant_math::seeded;
 use repro_bench::{p0_of_qubit, shot_noise, Setup};
 use std::f64::consts::PI;
@@ -47,9 +47,12 @@ fn main() {
         "{:>7} {:>12} {:>12} {:>12}",
         "θ (deg)", "std infid.", "direct infid.", "winner"
     );
-    let mut n = 0;
-    for k in 1..=20 {
-        let theta = k as f64 / 20.0 * PI;
+    // Sweep points carry per-index seeds, so the θ sweep fans across the
+    // pool with results identical to the serial loop.
+    let pool = ShotPool::from_env();
+    let points = pool.map_indices(20, |i| {
+        let k = i as u64 + 1;
+        let theta = (i + 1) as f64 / 20.0 * PI;
         let mut prep = Circuit::new(1);
         prep.rx(0, theta);
         // Ideal Bloch vector of Rx(θ)|0⟩.
@@ -59,18 +62,25 @@ fn main() {
             z: theta.cos(),
         };
         let mut errs = [0.0; 2];
+        let mut durs = [0u64; 2];
         for (m, mode) in [CompileMode::Standard, CompileMode::Optimized]
             .into_iter()
             .enumerate()
         {
             let b = tomograph(&setup, &prep, mode, shots, 7_000 + 10 * k + m as u64);
             errs[m] = 1.0 - b.fidelity(&ideal).clamp(0.0, 1.0);
-            sum_err[m] += errs[m];
             let compiled = Compiler::new(&setup.device, &setup.calibration, mode)
                 .compile(&prep)
                 .unwrap();
-            durations[m] = compiled.duration();
+            durs[m] = compiled.duration();
         }
+        (theta, errs, durs)
+    });
+    let mut n = 0;
+    for (theta, errs, durs) in points {
+        sum_err[0] += errs[0];
+        sum_err[1] += errs[1];
+        durations = durs;
         n += 1;
         println!(
             "{:>7.1} {:>11.4}% {:>11.4}% {:>12}",

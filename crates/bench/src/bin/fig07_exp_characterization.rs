@@ -7,7 +7,7 @@
 //! the data the compiler's empirical phase correction is built from.
 
 use quant_char::tomography::{bloch_from_p0, Axis};
-use quant_device::PulseExecutor;
+use quant_device::{PulseExecutor, ShotPool};
 use quant_math::seeded;
 use quant_pulse::{Channel, Instruction, Schedule};
 use repro_bench::{ascii_series, shot_noise, Setup};
@@ -15,7 +15,6 @@ use repro_bench::{ascii_series, shot_noise, Setup};
 fn main() {
     let setup = Setup::almaden(1, 707);
     let shots = 1000;
-    let mut rng = seeded(8_899);
     let base = setup.calibration.qubit(0).rx180_waveform("x");
     let exec = PulseExecutor::new(&setup.device);
 
@@ -24,9 +23,11 @@ fn main() {
          (3×41×{shots} = {}k shots)\n",
         3 * 41 * shots / 1000
     );
-    let mut angles = Vec::new();
-    let mut xdevs = Vec::new();
-    for i in 0..=40 {
+    // One RNG stream per sweep point (`seed ^ index`) instead of a single
+    // serial stream, so the 41 points fan out deterministically.
+    let pool = ShotPool::from_env();
+    let points = pool.map_indices(41, |i| {
+        let mut rng = seeded(8_899 ^ i as u64);
         let s = i as f64 / 40.0;
         // Per-axis tomography at the pulse level: play the scaled pulse,
         // then the axis rotation via calibrated pulses.
@@ -62,9 +63,9 @@ fn main() {
             p0[a] = shot_noise(measured0, shots, &mut rng);
         }
         let b = bloch_from_p0(p0);
-        angles.push(s * 180.0);
-        xdevs.push(b.x);
-    }
+        (s * 180.0, b.x)
+    });
+    let (angles, xdevs): (Vec<f64>, Vec<f64>) = points.into_iter().unzip();
 
     // The Z-measured populations trace the rotation; print the X-deviation.
     let max_dev = xdevs.iter().fold(0.0_f64, |m, &v| m.max(v.abs())).max(1e-3);

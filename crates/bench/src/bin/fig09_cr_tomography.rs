@@ -6,6 +6,7 @@
 //! ideal curves are ⟨Y⟩ = −sin θ, ⟨Z⟩ = cos θ, ⟨X⟩ = 0. Both the
 //! noiseless simulation and the noisy experiment should track them.
 
+use quant_device::ShotPool;
 use quant_math::seeded;
 use quant_pulse::Channel;
 use quant_sim::DensityMatrix;
@@ -54,21 +55,27 @@ fn measure(
 fn main() {
     let setup = Setup::almaden(2, 909);
     let shots = 1000;
-    let mut rng = seeded(246_000);
 
     println!("Figure 9 — CR(θ) target-qubit tomography (41 angles, sim vs noisy exp)\n");
     println!(
         "{:>7} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
         "θ(deg)", "⟨Y⟩ideal", "⟨Z⟩ideal", "⟨Y⟩sim", "⟨Z⟩sim", "⟨Y⟩exp", "⟨Z⟩exp"
     );
-    let mut worst_sim = 0.0_f64;
-    let mut worst_exp = 0.0_f64;
-    for i in 0..=40 {
+    // One RNG stream per angle (`seed ^ index`) so the sweep fans out
+    // deterministically across the pool.
+    let pool = ShotPool::from_env();
+    let rows = pool.map_indices(41, |i| {
+        let mut rng = seeded(246_000 ^ i as u64);
         let theta = i as f64 / 40.0 * PI; // 0 … 180°
-        let ideal_y = -theta.sin();
-        let ideal_z = theta.cos();
         let (_, sim_y, sim_z) = measure(&setup, theta, false, shots, &mut rng);
         let (_, exp_y, exp_z) = measure(&setup, theta, true, shots, &mut rng);
+        (theta, sim_y, sim_z, exp_y, exp_z)
+    });
+    let mut worst_sim = 0.0_f64;
+    let mut worst_exp = 0.0_f64;
+    for (i, (theta, sim_y, sim_z, exp_y, exp_z)) in rows.into_iter().enumerate() {
+        let ideal_y = -theta.sin();
+        let ideal_z = theta.cos();
         if i % 5 == 0 {
             println!(
                 "{:>7.1} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} | {:>8.3} {:>8.3}",

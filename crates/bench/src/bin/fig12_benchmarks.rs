@@ -10,6 +10,7 @@
 
 use quant_algos::{molecules, trotter, vqe, LineGraph};
 use quant_circuit::Circuit;
+use quant_device::ShotPool;
 use repro_bench::{compare_flows, write_json, ExperimentRecord, Setup};
 
 fn vqe_benchmark(m: &quant_algos::Molecule) -> Circuit {
@@ -46,12 +47,18 @@ fn main() {
         ("H2O dynamics", dynamics_benchmark(&molecules::water()), 2),
     ];
 
+    // Each benchmark is seeded by its index, so fanning them across the
+    // pool reproduces the serial results bit-for-bit.
+    let pool = ShotPool::from_env();
+    let comparisons = pool.map(&benchmarks, |i, (_, circuit, n)| {
+        let setup = Setup::almaden(*n, 1000 + i as u64);
+        compare_flows(&setup, circuit, shots, 2000 + i as u64)
+    });
+
     let mut reductions = Vec::new();
     let mut speedups = Vec::new();
     let mut records = Vec::new();
-    for (i, (name, circuit, n)) in benchmarks.iter().enumerate() {
-        let setup = Setup::almaden(*n, 1000 + i as u64);
-        let cmp = compare_flows(&setup, circuit, shots, 2000 + i as u64);
+    for ((name, _, _), cmp) in benchmarks.iter().zip(&comparisons) {
         reductions.push(cmp.error_reduction());
         speedups.push(cmp.speedup());
         records.push(ExperimentRecord {
@@ -77,9 +84,9 @@ fn main() {
         mean_speedup
     );
     println!("paper reference      : 1.55x                 ~2x");
-    if std::path::Path::new("results").is_dir() {
-        if write_json("results/fig12_benchmarks.json", &records).is_ok() {
-            println!("(machine-readable copy: results/fig12_benchmarks.json)");
-        }
+    if std::path::Path::new("results").is_dir()
+        && write_json("results/fig12_benchmarks.json", &records).is_ok()
+    {
+        println!("(machine-readable copy: results/fig12_benchmarks.json)");
     }
 }

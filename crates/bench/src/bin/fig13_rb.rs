@@ -13,7 +13,7 @@
 use pulse_compiler::{CompileMode, Compiler};
 use quant_char::{rb_sequence, RbData};
 use quant_circuit::Circuit;
-use quant_device::{Block, LoweredProgram, PulseExecutor};
+use quant_device::{Block, LoweredProgram, PulseExecutor, ShotPool};
 use quant_math::seeded;
 use repro_bench::Setup;
 
@@ -67,25 +67,30 @@ fn main() {
         lengths.len()
     );
 
+    // Every (length, randomization) cell derives its RNG from its own
+    // seed, so the grid fans across the pool with results identical to
+    // the serial sweep.
+    let pool = ShotPool::from_env();
     let mut fits = Vec::new();
     for (name, variant) in [
         ("optimized", Variant::Optimized),
         ("optimized-slow", Variant::OptimizedSlow),
         ("standard", Variant::Standard),
     ] {
-        let mut survival = Vec::new();
-        for &k in &lengths {
-            let mut total = 0.0;
-            for r in 0..randomizations {
-                let mut rng = seeded(5000 + (k * 31 + r) as u64);
-                let c = rb_sequence(k, &mut rng);
-                let program = compile_variant(&setup, &c, variant);
-                let out = exec.run(&program, &mut rng);
-                let counts = out.sample_counts(&mut rng, shots);
-                total += counts[0] as f64 / shots as f64;
-            }
-            survival.push(total / randomizations as f64);
-        }
+        let cells = pool.map_indices(lengths.len() * randomizations, |j| {
+            let k = lengths[j / randomizations];
+            let r = j % randomizations;
+            let mut rng = seeded(5000 + (k * 31 + r) as u64);
+            let c = rb_sequence(k, &mut rng);
+            let program = compile_variant(&setup, &c, variant);
+            let out = exec.run(&program, &mut rng);
+            let counts = out.sample_counts(&mut rng, shots);
+            counts[0] as f64 / shots as f64
+        });
+        let survival: Vec<f64> = cells
+            .chunks(randomizations)
+            .map(|c| c.iter().sum::<f64>() / randomizations as f64)
+            .collect();
         let data = RbData {
             lengths: lengths.clone(),
             survival,

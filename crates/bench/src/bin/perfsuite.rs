@@ -1,0 +1,261 @@
+//! Performance suite: wall-clock timing of compile+execute workloads.
+//!
+//! ```text
+//! cargo run --release -p repro-bench --bin perfsuite
+//! ```
+//!
+//! Times a figure-4-class single-gate workload, reduced-shot figure-12 and
+//! figure-13 workloads (serial and pooled), the propagator hot loop
+//! (eigendecomposition reference vs the Taylor scratch used by the
+//! integrators), and a θ-sweep with the pulse cache off vs on. Results —
+//! `workload`, `threads`, `wall_ms`, `shots_per_s`, `speedup` (vs the
+//! workload's own baseline row) — are written to `BENCH_1.json`.
+//!
+//! Thread-scaling rows report whatever `OPC_THREADS`/the host provides;
+//! the determinism tests guarantee the numbers themselves are identical
+//! at any thread count.
+
+use pulse_compiler::{CompileMode, Compiler};
+use quant_algos::{molecules, trotter, vqe, LineGraph};
+use quant_char::rb_sequence;
+use quant_circuit::Circuit;
+use quant_device::{PulseExecutor, ShotPool, DT};
+use quant_math::{seeded, unitary_exp, C64, CMat, PropagatorScratch};
+use repro_bench::{
+    compare_flows, json,
+    timing::{time_best, time_once},
+    Setup,
+};
+
+struct Entry {
+    workload: &'static str,
+    threads: usize,
+    wall_ms: f64,
+    shots_per_s: f64,
+    speedup: f64,
+}
+
+fn record(entries: &mut Vec<Entry>, workload: &'static str, threads: usize, wall_ms: f64, shots: usize, baseline_ms: f64) {
+    let entry = Entry {
+        workload,
+        threads,
+        wall_ms,
+        shots_per_s: shots as f64 / (wall_ms / 1e3),
+        speedup: baseline_ms / wall_ms,
+    };
+    println!(
+        "{:<28} threads={:<2} {:>10.1} ms {:>12.0} shots/s {:>6.2}x",
+        entry.workload, entry.threads, entry.wall_ms, entry.shots_per_s, entry.speedup
+    );
+    entries.push(entry);
+}
+
+/// Figure-4 class: compile the X gate both ways and execute noiselessly.
+fn fig04_workload(pool: &ShotPool, shots: usize) -> usize {
+    let setup = Setup::almaden(1, 404);
+    let mut c = Circuit::new(1);
+    c.x(0);
+    for mode in [CompileMode::Standard, CompileMode::Optimized] {
+        let compiled = Compiler::new(&setup.device, &setup.calibration, mode)
+            .compile(&c)
+            .unwrap();
+        let exec = PulseExecutor::noiseless(&setup.device);
+        let out = exec.run(&compiled.program, &mut seeded(1));
+        std::hint::black_box(pool.sample_counts(&out.probabilities, shots, 404));
+    }
+    2 * shots
+}
+
+/// Figure-12 class at reduced shots: three benchmarks through both flows.
+fn fig12_workload(pool: &ShotPool, benchmarks: &[(Circuit, usize)], shots: usize) -> usize {
+    let comparisons = pool.map(benchmarks, |i, (circuit, n)| {
+        let setup = Setup::almaden(*n, 1000 + i as u64);
+        compare_flows(&setup, circuit, shots, 2000 + i as u64)
+    });
+    std::hint::black_box(comparisons);
+    benchmarks.len() * 2 * shots
+}
+
+/// Figure-13 class at reduced shots: RB cells through both compile modes.
+fn fig13_workload(pool: &ShotPool, shots: usize) -> usize {
+    let setup = Setup::armonk(1313);
+    let lengths = [20usize, 40, 60];
+    let randomizations = 2;
+    let exec = PulseExecutor::new(&setup.device);
+    for mode in [CompileMode::Standard, CompileMode::Optimized] {
+        let cells = pool.map_indices(lengths.len() * randomizations, |j| {
+            let k = lengths[j / randomizations];
+            let r = j % randomizations;
+            let mut rng = seeded(5000 + (k * 31 + r) as u64);
+            let c = rb_sequence(k, &mut rng);
+            let program = Compiler::new(&setup.device, &setup.calibration, mode)
+                .compile(&c)
+                .unwrap()
+                .program;
+            let out = exec.run(&program, &mut rng);
+            out.sample_counts(&mut rng, shots)[0]
+        });
+        std::hint::black_box(cells);
+    }
+    lengths.len() * randomizations * 2 * shots
+}
+
+/// The per-sample propagator hot loop, via the eigendecomposition
+/// reference or the allocation-free Taylor scratch the integrators use.
+fn propagator_workload(taylor: bool, samples: usize) {
+    // A transmon-like 3×3 drive Hamiltonian at the integrator's step norm.
+    let mut h = CMat::zeros(3, 3);
+    h[(0, 1)] = C64::new(0.9e9, 0.2e9);
+    h[(1, 0)] = C64::new(0.9e9, -0.2e9);
+    h[(1, 2)] = C64::new(1.2e9, -0.3e9);
+    h[(2, 1)] = C64::new(1.2e9, 0.3e9);
+    h[(2, 2)] = C64::real(-2.0e9);
+    let mut scratch = PropagatorScratch::new(3);
+    let mut out = CMat::zeros(3, 3);
+    let mut acc = C64::ZERO;
+    for k in 0..samples {
+        let t = DT * (1.0 + (k % 7) as f64 * 1e-3);
+        if taylor {
+            scratch.unitary_exp_into(&h, t, &mut out);
+            acc += out.trace();
+        } else {
+            acc += unitary_exp(&h, t).trace();
+        }
+    }
+    std::hint::black_box(acc);
+}
+
+/// A 41-point Rx(θ) sweep repeated `repeats` times on precompiled
+/// programs; with the cache on, every pulse after the first sweep is a
+/// lookup instead of an integration.
+fn theta_sweep_workload(setup: &Setup, programs: &[quant_device::LoweredProgram], repeats: usize, cache: bool, shots: usize) -> usize {
+    setup.device.set_pulse_cache_enabled(cache);
+    setup.device.pulse_cache().invalidate();
+    let exec = PulseExecutor::noiseless(&setup.device);
+    for _ in 0..repeats {
+        for (i, program) in programs.iter().enumerate() {
+            let out = exec.run(program, &mut seeded(505 ^ i as u64));
+            std::hint::black_box(out.sample_counts_deterministic(505 ^ i as u64, shots));
+        }
+    }
+    setup.device.set_pulse_cache_enabled(true);
+    repeats * programs.len() * shots
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    let pool = ShotPool::from_env();
+    let serial = ShotPool::serial();
+    println!(
+        "perfsuite — compile+execute wall clock ({} pool thread(s))\n",
+        pool.threads()
+    );
+
+    // fig04-class.
+    let shots4 = 10_000;
+    let (n, ms) = time_once(|| fig04_workload(&serial, shots4));
+    record(&mut entries, "fig04_compile_execute", 1, ms, n, ms);
+
+    // fig12-class, reduced shots, serial then pooled.
+    let benchmarks: Vec<(Circuit, usize)> = vec![
+        (
+            {
+                let m = molecules::h2();
+                let r = vqe::solve(&m.hamiltonian);
+                vqe::ucc_ansatz(r.theta)
+            },
+            2,
+        ),
+        (
+            {
+                let g = LineGraph::new(4);
+                let ((gamma, beta), _) = g.solve_p1();
+                g.qaoa_circuit(&[(gamma, beta)])
+            },
+            4,
+        ),
+        (
+            trotter::trotter_circuit(&molecules::water().hamiltonian, 3.0, 6),
+            2,
+        ),
+    ];
+    let shots12 = 2000;
+    let (n, serial_ms) = time_once(|| fig12_workload(&serial, &benchmarks, shots12));
+    record(&mut entries, "fig12_reduced", 1, serial_ms, n, serial_ms);
+    let (n, ms) = time_once(|| fig12_workload(&pool, &benchmarks, shots12));
+    record(&mut entries, "fig12_reduced", pool.threads(), ms, n, serial_ms);
+
+    // fig13-class, reduced shots, serial then pooled.
+    let shots13 = 2000;
+    let (n, serial_ms) = time_once(|| fig13_workload(&serial, shots13));
+    record(&mut entries, "fig13_reduced", 1, serial_ms, n, serial_ms);
+    let (n, ms) = time_once(|| fig13_workload(&pool, shots13));
+    record(&mut entries, "fig13_reduced", pool.threads(), ms, n, serial_ms);
+
+    // Propagator hot loop: eigendecomposition reference vs Taylor scratch.
+    // Best-of-5 on both sides — single runs swing ~25 % on a shared VM and
+    // a single noisy draw would misstate the hot-loop ratio.
+    let samples = 200_000;
+    let (_, eigh_ms) = time_best(5, || propagator_workload(false, samples));
+    record(&mut entries, "propagator_eigh_reference", 1, eigh_ms, samples, eigh_ms);
+    let (_, taylor_ms) = time_best(5, || propagator_workload(true, samples));
+    record(&mut entries, "propagator_taylor_scratch", 1, taylor_ms, samples, eigh_ms);
+
+    // Pulse cache: repeated θ sweeps, cache off vs on. The 1-qubit
+    // DirectRx sweep bounds the cache's win by the non-integration
+    // overhead; the 2-qubit Rx(θ)+CNOT sweep is fig12-class — the 9×9
+    // echoed-CR integration dominates, so memoizing it is the headline.
+    let shots_sweep = 1000;
+    let setup = Setup::almaden(1, 505);
+    let programs: Vec<_> = (1..=41)
+        .map(|k| {
+            let mut c = Circuit::new(1);
+            c.rx(0, k as f64 / 41.0 * std::f64::consts::PI);
+            Compiler::new(&setup.device, &setup.calibration, CompileMode::Optimized)
+                .compile(&c)
+                .unwrap()
+                .program
+        })
+        .collect();
+    let repeats = 12;
+    let (n, off_ms) = time_best(3, || theta_sweep_workload(&setup, &programs, repeats, false, shots_sweep));
+    record(&mut entries, "theta_sweep_1q_cache_off", 1, off_ms, n, off_ms);
+    let (n, ms) = time_best(3, || theta_sweep_workload(&setup, &programs, repeats, true, shots_sweep));
+    record(&mut entries, "theta_sweep_1q_cache_on", 1, ms, n, off_ms);
+
+    let setup2 = Setup::almaden(2, 506);
+    let programs2: Vec<_> = (1..=41)
+        .map(|k| {
+            let mut c = Circuit::new(2);
+            c.rx(0, k as f64 / 41.0 * std::f64::consts::PI);
+            c.cnot(0, 1);
+            Compiler::new(&setup2.device, &setup2.calibration, CompileMode::Optimized)
+                .compile(&c)
+                .unwrap()
+                .program
+        })
+        .collect();
+    let repeats2 = 8;
+    let (n, off_ms) = time_best(2, || theta_sweep_workload(&setup2, &programs2, repeats2, false, shots_sweep));
+    record(&mut entries, "theta_sweep_2q_cache_off", 1, off_ms, n, off_ms);
+    let (n, ms) = time_best(2, || theta_sweep_workload(&setup2, &programs2, repeats2, true, shots_sweep));
+    record(&mut entries, "theta_sweep_2q_cache_on", 1, ms, n, off_ms);
+
+    let items: Vec<json::Json> = entries
+        .iter()
+        .map(|e| {
+            json::object([
+                ("workload", json::string(e.workload)),
+                ("threads", json::number(e.threads as f64)),
+                ("wall_ms", json::number(e.wall_ms)),
+                ("shots_per_s", json::number(e.shots_per_s)),
+                ("speedup", json::number(e.speedup)),
+            ])
+        })
+        .collect();
+    let path = "BENCH_1.json";
+    match std::fs::write(path, json::array(items).pretty()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}

@@ -13,7 +13,9 @@ use quant_device::{calibrate, Calibration, DeviceModel, PulseExecutor};
 use quant_math::seeded;
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::Serialize;
+
+pub mod json;
+pub mod timing;
 
 /// A calibrated simulated backend.
 pub struct Setup {
@@ -167,7 +169,7 @@ pub fn run_noisy(
 }
 
 /// Standard-vs-optimized comparison on one benchmark circuit.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Comparison {
     /// Hellinger error of the standard flow.
     pub error_standard: f64,
@@ -223,7 +225,7 @@ pub fn shot_noise(p: f64, shots: usize, rng: &mut impl Rng) -> f64 {
 }
 
 /// A named experiment record for machine-readable result dumps.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentRecord {
     /// Benchmark/experiment name.
     pub name: String,
@@ -233,8 +235,30 @@ pub struct ExperimentRecord {
 
 /// Writes experiment records as pretty JSON next to the text outputs.
 pub fn write_json(path: &str, records: &[ExperimentRecord]) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(records).expect("serializable");
-    std::fs::write(path, json)
+    let items: Vec<json::Json> = records
+        .iter()
+        .map(|r| {
+            json::object([
+                ("name", json::string(&r.name)),
+                (
+                    "comparison",
+                    json::object([
+                        ("error_standard", json::number(r.comparison.error_standard)),
+                        ("error_optimized", json::number(r.comparison.error_optimized)),
+                        (
+                            "duration_standard",
+                            json::number(r.comparison.duration_standard as f64),
+                        ),
+                        (
+                            "duration_optimized",
+                            json::number(r.comparison.duration_optimized as f64),
+                        ),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    std::fs::write(path, json::array(items).pretty())
 }
 
 /// Renders a simple ASCII series plot (one row per sample).

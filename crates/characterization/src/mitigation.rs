@@ -19,10 +19,9 @@ impl Mitigator {
     /// Builds a mitigator from per-qubit confusion matrices.
     pub fn new(per_qubit: Vec<[[f64; 2]; 2]>) -> Self {
         for m in &per_qubit {
-            for col in 0..2 {
-                let s = m[0][col] + m[1][col];
+            for (&m0, &m1) in m[0].iter().zip(&m[1]) {
                 assert!(
-                    (s - 1.0).abs() < 1e-9,
+                    (m0 + m1 - 1.0).abs() < 1e-9,
                     "confusion matrix columns must sum to 1"
                 );
             }

@@ -211,7 +211,7 @@ pub fn synthesize_with_uses(
             &nm_opts,
         );
         let fidelity = 1.0 - result.fx;
-        if best.as_ref().map_or(true, |b| fidelity > b.fidelity) {
+        if best.as_ref().is_none_or(|b| fidelity > b.fidelity) {
             best = Some(Synthesis {
                 uses,
                 cost: uses as f64 * native.cost_per_use(),

@@ -150,7 +150,7 @@ fn symmetric_unitary_eigenvalues(m: &CMat) -> Vec<C64> {
     let n = m.rows();
     let re = CMat::from_fn(n, n, |r, c| C64::real(m[(r, c)].re));
     let im = CMat::from_fn(n, n, |r, c| C64::real(m[(r, c)].im));
-    for w in [0.318_309_886, 0.730_241_812, 1.912_978_514] {
+    for w in [0.317_455_829, 0.730_241_812, 1.912_978_514] {
         let h = &re + &im.scale(C64::real(w));
         let eig = quant_math::eigh(&h);
         let mut out = Vec::with_capacity(n);

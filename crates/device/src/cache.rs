@@ -1,0 +1,429 @@
+//! Content-addressed memoization of integrated pulse unitaries.
+//!
+//! Integrating a pulse schedule is by far the most expensive step of a
+//! simulated experiment: every 0.22 ns sample costs one matrix exponential.
+//! But experiment suites replay the *same* waveforms thousands of times — a
+//! 41-point θ-sweep executes 41 distinct rotation pulses while the
+//! surrounding basis pulses never change. [`PulseCache`] memoizes the
+//! integrated propagator of each distinct (pulse content, device physics)
+//! pair so each is integrated exactly once per calibration epoch.
+//!
+//! **Keying.** Keys are exact: every f64 that enters the Hamiltonian —
+//! waveform samples, frame state, transmon/CR parameters *after* drift —
+//! is folded bit-for-bit into the key. Two lookups collide only when the
+//! integrations would be bit-identical, so a hit can never return a stale
+//! or approximate propagator. Per-pulse amplitude jitter therefore misses
+//! by construction (the jittered samples differ), and calibration drift
+//! changes the parameter bits, retiring every stale entry automatically.
+//!
+//! **Invalidation.** [`crate::DeviceModel::redraw_drift`] and
+//! [`crate::DeviceModel::set_drift`] additionally call
+//! [`PulseCache::invalidate`], dropping all entries and bumping the
+//! generation counter. This keeps the map from accumulating entries for
+//! parameter sets that can never be looked up again.
+//!
+//! **Knob.** The cache is on by default; set `OPC_PULSE_CACHE=0` (or call
+//! [`crate::DeviceModel::set_pulse_cache_enabled`]) to disable it, e.g.
+//! when measuring raw integrator throughput.
+
+use crate::params::{CrParams, TransmonParams};
+use crate::transmon::DriveState;
+use quant_math::CMat;
+use quant_pulse::{Channel, Instruction, Schedule, Waveform};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Hard cap on resident entries; inserts beyond it are dropped. Keeps
+/// pathological workloads (per-pulse jitter → every key unique) from
+/// growing the map without bound.
+const MAX_ENTRIES: usize = 4096;
+
+/// A bit-exact content address for one pulse integration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PulseKey {
+    words: Vec<u64>,
+}
+
+/// Builder folding every input of an integration into a [`PulseKey`].
+#[derive(Debug, Default)]
+struct KeyBuilder {
+    words: Vec<u64>,
+}
+
+impl KeyBuilder {
+    fn with_capacity(n: usize) -> Self {
+        KeyBuilder {
+            words: Vec::with_capacity(n),
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.words.push(w);
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.words.push(x.to_bits());
+    }
+
+    fn transmon(&mut self, p: &TransmonParams) {
+        // T1/T2 do not enter the coherent integration, but they are two
+        // extra words per key and keeping them makes the key a complete
+        // record of the parameter struct.
+        self.f64(p.f01);
+        self.f64(p.alpha);
+        self.f64(p.rabi_hz_per_amp);
+        self.f64(p.t1);
+        self.f64(p.t2);
+    }
+
+    fn cr(&mut self, p: &CrParams) {
+        self.f64(p.zx_hz_per_amp);
+        self.f64(p.ix_hz_per_amp);
+        self.f64(p.zi_hz_per_amp);
+        self.f64(p.zz_static_hz);
+    }
+
+    fn drive_state(&mut self, s: &DriveState) {
+        self.f64(s.frame_phase);
+        self.f64(s.freq_offset);
+        self.f64(s.mod_phase);
+        self.f64(s.static_phase);
+    }
+
+    fn channel(&mut self, ch: Channel) {
+        let (tag, idx) = match ch {
+            Channel::Drive(q) => (0u64, q),
+            Channel::Control(k) => (1, k),
+            Channel::Measure(q) => (2, q),
+            Channel::Acquire(q) => (3, q),
+        };
+        self.word(tag << 32 | idx as u64);
+    }
+
+    fn waveform(&mut self, w: &Waveform) {
+        let samples = w.samples();
+        self.word(samples.len() as u64);
+        for s in samples {
+            self.f64(s.re);
+            self.f64(s.im);
+        }
+    }
+
+    fn finish(self) -> PulseKey {
+        PulseKey { words: self.words }
+    }
+}
+
+/// Builds the key for a single-qubit `Play` integrated from `state` by a
+/// transmon with (drifted) parameters `p`.
+pub fn single_play_key(p: &TransmonParams, state: &DriveState, w: &Waveform) -> PulseKey {
+    let mut k = KeyBuilder::with_capacity(12 + 2 * w.samples().len());
+    k.word(TAG_1Q);
+    k.transmon(p);
+    k.drive_state(state);
+    k.waveform(w);
+    k.finish()
+}
+
+/// Builds the key for a two-qubit schedule integrated by a [`crate::CrPair`]
+/// with (drifted) parameters, bound to the given channel roles.
+pub fn pair_schedule_key(
+    control: &TransmonParams,
+    target: &TransmonParams,
+    cr: &CrParams,
+    schedule: &Schedule,
+    control_drive: Channel,
+    target_drive: Channel,
+    cr_channel: Channel,
+) -> PulseKey {
+    let mut k = KeyBuilder::with_capacity(32);
+    k.word(TAG_2Q);
+    k.transmon(control);
+    k.transmon(target);
+    k.cr(cr);
+    k.channel(control_drive);
+    k.channel(target_drive);
+    k.channel(cr_channel);
+    k.word(schedule.duration());
+    for ti in schedule.instructions() {
+        k.word(ti.start);
+        k.channel(ti.instruction.channel());
+        match &ti.instruction {
+            Instruction::Play { waveform, .. } => {
+                k.word(10);
+                k.waveform(waveform);
+            }
+            Instruction::ShiftPhase { phase, .. } => {
+                k.word(11);
+                k.f64(*phase);
+            }
+            Instruction::SetFrequency { frequency, .. } => {
+                k.word(12);
+                k.f64(*frequency);
+            }
+            Instruction::ShiftFrequency { delta, .. } => {
+                k.word(13);
+                k.f64(*delta);
+            }
+            Instruction::Delay { duration, .. } => {
+                k.word(14);
+                k.word(*duration);
+            }
+            Instruction::Acquire { duration, qubit, .. } => {
+                k.word(15);
+                k.word(*duration);
+                k.word(*qubit as u64);
+            }
+        }
+    }
+    k.finish()
+}
+
+// Leading tag words keep single- and two-qubit keys in disjoint namespaces.
+const TAG_1Q: u64 = 0x5051_3151;
+const TAG_2Q: u64 = 0x5051_3251;
+
+/// Cache statistics snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to integrate.
+    pub misses: u64,
+    /// Resident entries.
+    pub entries: usize,
+    /// Number of invalidations since construction (drift redraws).
+    pub generation: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<PulseKey, CMat>,
+    hits: u64,
+    misses: u64,
+    generation: u64,
+}
+
+/// Thread-safe memo table from pulse content to integrated propagator.
+#[derive(Debug)]
+pub struct PulseCache {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for PulseCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PulseCache {
+    /// An empty cache. Enabled unless `OPC_PULSE_CACHE` is set to `0`,
+    /// `off` or `false`.
+    pub fn new() -> Self {
+        let enabled = match std::env::var("OPC_PULSE_CACHE") {
+            Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
+            Err(_) => true,
+        };
+        PulseCache {
+            enabled: AtomicBool::new(enabled),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Turns memoization on or off (lookups/inserts become no-ops).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether memoization is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Returns the cached propagator for `key`, or computes it with
+    /// `integrate`, stores it, and returns it. The closure runs outside
+    /// the lock, so concurrent shot threads never serialize on an
+    /// integration (at worst two threads race to integrate the same new
+    /// pulse once).
+    pub fn get_or_integrate(&self, key: PulseKey, integrate: impl FnOnce() -> CMat) -> CMat {
+        if !self.is_enabled() {
+            return integrate();
+        }
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(u) = inner.map.get(&key) {
+                let u = u.clone();
+                inner.hits += 1;
+                return u;
+            }
+            inner.misses += 1;
+        }
+        let u = integrate();
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.len() < MAX_ENTRIES {
+            inner.map.insert(key, u.clone());
+        }
+        u
+    }
+
+    /// Drops every entry and bumps the generation counter. Called when
+    /// calibration drift mutates the device physics.
+    pub fn invalidate(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.clear();
+        inner.generation += 1;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+            generation: inner.generation,
+        }
+    }
+
+    /// Zeroes the hit/miss counters (entries stay resident).
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant_math::C64;
+    use quant_pulse::Gaussian;
+
+    fn wf(amp: f64) -> Waveform {
+        Gaussian {
+            duration: 32,
+            amp,
+            sigma: 8.0,
+        }
+        .waveform("w")
+    }
+
+    #[test]
+    fn identical_content_hits() {
+        let p = TransmonParams::almaden_like();
+        let s = DriveState::default();
+        let cache = PulseCache::new();
+        cache.set_enabled(true);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let k = single_play_key(&p, &s, &wf(0.25));
+            cache.get_or_integrate(k, || {
+                calls += 1;
+                CMat::identity(3)
+            });
+        }
+        assert_eq!(calls, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn different_content_misses() {
+        let p = TransmonParams::almaden_like();
+        let s = DriveState::default();
+        let k1 = single_play_key(&p, &s, &wf(0.25));
+        let k2 = single_play_key(&p, &s, &wf(0.2500001));
+        assert_ne!(k1, k2, "amplitude change must change the key");
+        let mut drifted = p;
+        drifted.rabi_hz_per_amp *= 1.0 + 1e-9;
+        let k3 = single_play_key(&drifted, &s, &wf(0.25));
+        assert_ne!(k1, k3, "parameter drift must change the key");
+    }
+
+    #[test]
+    fn invalidate_clears_entries() {
+        let cache = PulseCache::new();
+        cache.set_enabled(true);
+        let p = TransmonParams::almaden_like();
+        let k = single_play_key(&p, &DriveState::default(), &wf(0.3));
+        cache.get_or_integrate(k.clone(), || CMat::identity(3));
+        assert_eq!(cache.stats().entries, 1);
+        cache.invalidate();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.generation, 1);
+        // Next lookup must re-integrate.
+        let mut calls = 0;
+        cache.get_or_integrate(k, || {
+            calls += 1;
+            CMat::identity(3)
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_integrates() {
+        let cache = PulseCache::new();
+        cache.set_enabled(false);
+        let p = TransmonParams::almaden_like();
+        let mut calls = 0;
+        for _ in 0..2 {
+            let k = single_play_key(&p, &DriveState::default(), &wf(0.3));
+            cache.get_or_integrate(k, || {
+                calls += 1;
+                CMat::identity(3)
+            });
+        }
+        assert_eq!(calls, 2);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn pair_key_distinguishes_schedules() {
+        let p = TransmonParams::almaden_like();
+        let cr = CrParams::almaden_like();
+        let mk = |phase: f64| {
+            let mut s = Schedule::new("s");
+            s.append(Instruction::ShiftPhase {
+                phase,
+                channel: Channel::Control(0),
+            });
+            s.append(Instruction::Play {
+                waveform: wf(0.3),
+                channel: Channel::Control(0),
+            });
+            pair_schedule_key(
+                &p,
+                &p,
+                &cr,
+                &s,
+                Channel::Drive(0),
+                Channel::Drive(1),
+                Channel::Control(0),
+            )
+        };
+        assert_eq!(mk(0.5), mk(0.5));
+        assert_ne!(mk(0.5), mk(0.5 + 1e-12));
+    }
+
+    #[test]
+    fn keys_carry_complex_sample_bits() {
+        // Two waveforms whose samples differ only in the imaginary part.
+        let mut a = wf(0.3);
+        let b = a.clone();
+        let samples: Vec<C64> = a
+            .samples()
+            .iter()
+            .map(|s| C64::new(s.re, s.im + 1e-15))
+            .collect();
+        a = Waveform::new("w", samples);
+        let p = TransmonParams::almaden_like();
+        let s = DriveState::default();
+        assert_ne!(
+            single_play_key(&p, &s, &a),
+            single_play_key(&p, &s, &b)
+        );
+    }
+}

@@ -7,12 +7,14 @@
 //! calibration). The gap between calibrated pulses and drifted physics is
 //! what produces §8.3's "calibration error susceptibility".
 
+use crate::cache::PulseCache;
 use crate::params::{CrParams, DriftParams, ReadoutParams, TransmonParams};
 use crate::transmon::Transmon;
 use crate::twoqubit::CrPair;
 use quant_math::normal;
 use quant_pulse::Channel;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A directed coupled pair with its CR interaction strengths.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -42,6 +44,11 @@ pub struct DeviceModel {
     pulse_amp_jitter: f64,
     /// Residual excited-state population after reset (thermal SPAM error).
     reset_excited_prob: f64,
+    /// Memo table for integrated pulse propagators. Shared (not deep-
+    /// copied) across clones; keys are content-addressed over the drifted
+    /// physics, so sharing can only trade hits for misses, never
+    /// correctness.
+    pulse_cache: Arc<PulseCache>,
 }
 
 impl DeviceModel {
@@ -91,6 +98,7 @@ impl DeviceModel {
             zx_drift: Vec::new(),
             pulse_amp_jitter: 6.0e-4,
             reset_excited_prob: 0.012,
+            pulse_cache: Arc::new(PulseCache::new()),
         };
         model.zx_drift = vec![1.0; model.edges.len()];
         model.redraw_drift(rng);
@@ -138,6 +146,7 @@ impl DeviceModel {
             zx_drift: Vec::new(),
             pulse_amp_jitter: 6.0e-4,
             reset_excited_prob: 0.012,
+            pulse_cache: Arc::new(PulseCache::new()),
         };
         m.redraw_drift(rng);
         m
@@ -180,6 +189,7 @@ impl DeviceModel {
             zx_drift: vec![1.0; zx_len],
             pulse_amp_jitter: 0.0,
             reset_excited_prob: 0.0,
+            pulse_cache: Arc::new(PulseCache::new()),
         }
     }
 
@@ -193,6 +203,10 @@ impl DeviceModel {
         for d in &mut self.zx_drift {
             *d = 1.0 + normal(rng, 0.0, sigma);
         }
+        // The drifted physics just changed: retire every memoized
+        // propagator (their keys embed the old parameter bits and can
+        // never be looked up again).
+        self.pulse_cache.invalidate();
     }
 
     /// Overrides the drift model (e.g. for ablation benches).
@@ -204,6 +218,16 @@ impl DeviceModel {
     /// Overrides the per-pulse additive amplitude jitter.
     pub fn set_pulse_amp_jitter(&mut self, jitter: f64) {
         self.pulse_amp_jitter = jitter;
+    }
+
+    /// The device's pulse-propagator memo table.
+    pub fn pulse_cache(&self) -> &PulseCache {
+        &self.pulse_cache
+    }
+
+    /// Enables or disables pulse-propagator memoization.
+    pub fn set_pulse_cache_enabled(&self, enabled: bool) {
+        self.pulse_cache.set_enabled(enabled);
     }
 
     /// Number of qubits.

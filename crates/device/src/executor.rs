@@ -121,6 +121,19 @@ impl ExecOutcome {
     pub fn sample_counts(&self, rng: &mut impl Rng, shots: usize) -> Vec<u64> {
         quant_math::sample_counts(rng, &self.probabilities, shots)
     }
+
+    /// Samples counts with one deterministic RNG stream per shot
+    /// (`seeded(seed ^ shot_index)`). This is the serial reference for
+    /// [`ShotPool::sample_counts`], which produces bit-identical counts at
+    /// any thread count.
+    pub fn sample_counts_deterministic(&self, seed: u64, shots: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; self.probabilities.len()];
+        for shot in 0..shots {
+            let mut rng = quant_math::seeded(seed ^ shot as u64);
+            counts[quant_math::categorical(&mut rng, &self.probabilities)] += 1;
+        }
+        counts
+    }
 }
 
 /// The executor.
@@ -180,8 +193,16 @@ impl<'a> PulseExecutor<'a> {
                     let transmon = self.device.transmon_exec(*qubit);
                     for w in waveforms {
                         let w = self.jittered(w, rng);
-                        let mut state = DriveState::default();
-                        let u3x3 = transmon.integrate_play(&mut state, &w);
+                        let key = crate::cache::single_play_key(
+                            transmon.params(),
+                            &DriveState::default(),
+                            &w,
+                        );
+                        let u3x3 =
+                            self.device.pulse_cache().get_or_integrate(key, || {
+                                let mut state = DriveState::default();
+                                transmon.integrate_play(&mut state, &w)
+                            });
                         let kraus = qubit_block_kraus(&u3x3);
                         rho.apply_kraus(&kraus, &[q]);
                         let dur = w.duration();
@@ -219,12 +240,25 @@ impl<'a> PulseExecutor<'a> {
                     } else {
                         schedule.clone()
                     };
-                    let r = pair.integrate(
+                    let key = crate::cache::pair_schedule_key(
+                        pair.control_params(),
+                        pair.target_params(),
+                        pair.cr_params(),
                         &schedule,
                         Channel::Drive(*control),
                         Channel::Drive(*target),
                         u_ch,
                     );
+                    let unitary =
+                        self.device.pulse_cache().get_or_integrate(key, || {
+                            pair.integrate(
+                                &schedule,
+                                Channel::Drive(*control),
+                                Channel::Drive(*target),
+                                u_ch,
+                            )
+                            .unitary
+                        });
                     // The raw propagator is what physically happened;
                     // leftover virtual-Z frames are compiler bookkeeping
                     // (baked into *subsequent* pulses by the lowering pass)
@@ -233,7 +267,7 @@ impl<'a> PulseExecutor<'a> {
                     // computational-basis measurement cannot see. The qubit
                     // block is slightly sub-unitary (|2⟩ leakage); complete
                     // it to a CPTP channel.
-                    rho.apply_kraus(&contraction_kraus(&r.unitary), &[c, t]);
+                    rho.apply_kraus(&contraction_kraus(&unitary), &[c, t]);
                     let dur = schedule.duration();
                     if self.noisy {
                         self.relax(&mut rho, *control, dur);
@@ -362,6 +396,125 @@ impl<'a> PulseExecutor<'a> {
         for stage in channels::thermal_relaxation(t, p.t1, p.t2) {
             rho.apply_kraus(&stage, &[qubit as usize]);
         }
+    }
+}
+
+/// Deterministic parallel fan-out engine for shots and sweep points.
+///
+/// Experiment suites are embarrassingly parallel in two directions: sweep
+/// points (each θ of a rotation sweep, each RB sequence) and shots (count
+/// sampling from an outcome distribution). `ShotPool` fans both across OS
+/// threads with a determinism contract: **every job is keyed by its index
+/// alone** — job `i` writes slot `i` and derives any randomness from a
+/// per-index stream (`seeded(seed ^ i)`) — so results are bit-identical to
+/// a serial run at any thread count.
+///
+/// The thread count comes from the `OPC_THREADS` environment variable when
+/// constructed via [`ShotPool::from_env`] (unset or `0` → all available
+/// cores).
+#[derive(Clone, Copy, Debug)]
+pub struct ShotPool {
+    threads: usize,
+}
+
+impl ShotPool {
+    /// A pool with an explicit thread count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        ShotPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded pool (identical results, no fan-out).
+    pub fn serial() -> Self {
+        ShotPool::new(1)
+    }
+
+    /// Thread count from `OPC_THREADS`, defaulting to the number of
+    /// available cores.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("OPC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            });
+        ShotPool::new(threads)
+    }
+
+    /// Worker threads this pool fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates `f(0), f(1), …, f(n-1)` across the pool and returns the
+    /// results in index order. `f` must depend only on its index argument
+    /// (derive randomness as `seeded(seed ^ index)`); the output is then
+    /// independent of the thread count.
+    pub fn map_indices<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = self.threads.min(n.max(1));
+        if threads <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let chunk = n.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (w, slots) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    let base = w * chunk;
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(f(base + j));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|slot| slot.unwrap()).collect()
+    }
+
+    /// Parallel map over a slice, in index order.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.map_indices(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Samples `shots` measurement outcomes from `probabilities` using one
+    /// deterministic RNG stream per shot (`seeded(seed ^ shot_index)`), and
+    /// returns the per-outcome counts. Counts are u64 sums of independent
+    /// per-shot draws, so the result is bit-identical at any thread count
+    /// (and to [`ExecOutcome::sample_counts_deterministic`]).
+    pub fn sample_counts(&self, probabilities: &[f64], shots: usize, seed: u64) -> Vec<u64> {
+        let bins = probabilities.len();
+        let threads = self.threads.min(shots.max(1));
+        let chunk = shots.div_ceil(threads.max(1)).max(1);
+        let ranges: Vec<(usize, usize)> = (0..shots)
+            .step_by(chunk)
+            .map(|start| (start, (start + chunk).min(shots)))
+            .collect();
+        let partials = self.map(&ranges, |_, &(start, end)| {
+            let mut counts = vec![0u64; bins];
+            for shot in start..end {
+                let mut rng = quant_math::seeded(seed ^ shot as u64);
+                counts[quant_math::categorical(&mut rng, probabilities)] += 1;
+            }
+            counts
+        });
+        let mut total = vec![0u64; bins];
+        for part in partials {
+            for (t, p) in total.iter_mut().zip(part) {
+                *t += p;
+            }
+        }
+        total
     }
 }
 

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod calibration;
 pub mod device;
 pub mod executor;
@@ -40,9 +41,10 @@ pub mod transmon;
 pub mod tunable;
 pub mod twoqubit;
 
+pub use cache::{CacheStats, PulseCache, PulseKey};
 pub use calibration::{calibrate, Calibration, CalibrationOptions};
 pub use device::{CouplingEdge, DeviceModel};
-pub use executor::{Block, ExecOutcome, LoweredProgram, PulseExecutor, QutritOutcome};
+pub use executor::{Block, ExecOutcome, LoweredProgram, PulseExecutor, QutritOutcome, ShotPool};
 pub use params::{CrParams, DriftParams, ReadoutParams, TransmonParams, DT};
 pub use transmon::{DriveState, FrameResult, Transmon};
 pub use trajectory::TrajectoryExecutor;

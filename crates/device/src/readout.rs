@@ -131,11 +131,11 @@ mod tests {
         let r = readout();
         let mut rng = seeded(21);
         let m = qutrit_confusion(&r, &mut rng, 20_000);
-        for prepared in 0..3 {
+        for (prepared, row) in m.iter().enumerate() {
             assert!(
-                m[prepared][prepared] > 0.9,
+                row[prepared] > 0.9,
                 "level {prepared} assignment fidelity {}",
-                m[prepared][prepared]
+                row[prepared]
             );
             let col_sum: f64 = (0..3).map(|meas| m[meas][prepared]).sum();
             assert!((col_sum - 1.0).abs() < 1e-9);

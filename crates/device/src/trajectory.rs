@@ -139,8 +139,8 @@ impl<'a> TrajectoryExecutor<'a> {
             }
         }
         let end = cursor.iter().copied().max().unwrap_or(0);
-        for q in 0..n {
-            let idle = end - cursor[q];
+        for (q, &at) in cursor.iter().enumerate().take(n) {
+            let idle = end - at;
             if idle > 0 {
                 self.relax_sampled(&mut psi, q, idle, rng);
             }
@@ -243,18 +243,19 @@ mod tests {
         let cal = calibrate(&device, &mut rng);
         // Lower a Bell pair via the cmd_def directly (avoid a dependency on
         // the compiler crate here).
-        let mut blocks = Vec::new();
         // H via two rx90 pulses is compiler territory; use X on q0 and a
         // CNOT — |00⟩ → |01⟩ → |11⟩: a deterministic outcome with noise.
-        blocks.push(Block::Gate1Q {
-            qubit: 0,
-            waveforms: vec![cal.qubit(0).rx180_waveform("x")],
-        });
-        blocks.push(Block::Gate2Q {
-            control: 0,
-            target: 1,
-            schedule: cal.cmd_def().get("cx", &[0, 1]).unwrap().clone(),
-        });
+        let blocks = vec![
+            Block::Gate1Q {
+                qubit: 0,
+                waveforms: vec![cal.qubit(0).rx180_waveform("x")],
+            },
+            Block::Gate2Q {
+                control: 0,
+                target: 1,
+                schedule: cal.cmd_def().get("cx", &[0, 1]).unwrap().clone(),
+            },
+        ];
         let program = LoweredProgram {
             num_qubits: 2,
             blocks,

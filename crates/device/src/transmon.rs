@@ -19,7 +19,7 @@
 //! every timescale in the problem.
 
 use crate::params::{TransmonParams, DT};
-use quant_math::{unitary_exp, C64, CMat};
+use quant_math::{C64, CMat, PropagatorScratch};
 use quant_pulse::{Channel, Instruction, Schedule};
 use std::f64::consts::TAU;
 
@@ -134,6 +134,15 @@ impl Transmon {
         let mut u = CMat::identity(3);
         Self::flush_static(&mut u, state);
         let h0 = self.h_static();
+        // All buffers are allocated once here; the per-sample loop below is
+        // allocation-free (Taylor propagator with reused scratch instead of
+        // a per-sample eigendecomposition).
+        let mut h = CMat::zeros(3, 3);
+        let mut step = CMat::zeros(3, 3);
+        let mut next = CMat::zeros(3, 3);
+        let mut scratch = PropagatorScratch::new(3);
+        let half = omega / 2.0;
+        let half_sqrt2 = half * std::f64::consts::SQRT_2;
         for &sample in waveform.samples() {
             // In this convention the a† coefficient rotates as
             // e^{−i·2π·Δf·t} for an LO shifted up by Δf, which makes
@@ -141,15 +150,15 @@ impl Transmon {
             // module docs and unit tests).
             let phase = state.frame_phase - state.mod_phase;
             let d_eff = sample * C64::cis(phase);
-            let mut h = h0.clone();
+            h.copy_from(&h0);
             // (Ω/2)(d̃ a† + d̃* a); a has elements 1, √2.
-            let half = omega / 2.0;
             h[(1, 0)] += d_eff * half;
             h[(0, 1)] += d_eff.conj() * half;
-            h[(2, 1)] += d_eff * (half * std::f64::consts::SQRT_2);
-            h[(1, 2)] += d_eff.conj() * (half * std::f64::consts::SQRT_2);
-            let step = unitary_exp(&h, DT);
-            u = &step * &u;
+            h[(2, 1)] += d_eff * half_sqrt2;
+            h[(1, 2)] += d_eff.conj() * half_sqrt2;
+            scratch.unitary_exp_into(&h, DT, &mut step);
+            step.mul_into(&u, &mut next);
+            std::mem::swap(&mut u, &mut next);
             state.mod_phase += TAU * state.freq_offset * DT;
         }
         u

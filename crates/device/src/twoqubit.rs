@@ -21,7 +21,7 @@
 //! X pulses, target Rx90, virtual-Z frames — evolves as one 4×4 propagator.
 
 use crate::params::{CrParams, TransmonParams, DT};
-use quant_math::{unitary_exp, C64, CMat};
+use quant_math::{C64, CMat, PropagatorScratch};
 use quant_pulse::{Channel, Instruction, Schedule};
 use quant_sim::gates;
 use std::collections::BTreeMap;
@@ -107,6 +107,16 @@ impl CrPair {
     /// The CR parameters.
     pub fn cr_params(&self) -> &CrParams {
         &self.cr
+    }
+
+    /// The control qubit's transmon parameters.
+    pub fn control_params(&self) -> &TransmonParams {
+        &self.control
+    }
+
+    /// The target qubit's transmon parameters.
+    pub fn target_params(&self) -> &TransmonParams {
+        &self.target
     }
 
     /// Integrates a two-qubit schedule.
@@ -204,35 +214,48 @@ impl CrPair {
         let om_t = TAU * self.target.rabi_hz_per_amp;
         let zz_static = TAU * self.cr.zz_static_hz / 4.0;
 
+        // The drive-free part of H is constant: assemble it once.
+        let mut h_static = h0;
+        h_static.add_scaled_assign(&zz, C64::real(zz_static));
+
+        // All buffers live outside the sample loop; each step is a
+        // copy + a handful of AXPYs + one Taylor propagator, with no
+        // heap allocation.
+        let mut h = CMat::zeros(9, 9);
+        let mut step = CMat::zeros(9, 9);
+        let mut next = CMat::zeros(9, 9);
+        let mut scratch = PropagatorScratch::new(9);
+
         let mut u = CMat::identity(9);
         for k in 0..total {
             let dc = drive_c[k];
             let dt_ = drive_t[k];
             let du = drive_u[k];
-            let mut h = &h0 + &zz.scale(C64::real(zz_static));
+            h.copy_from(&h_static);
             if dc != C64::ZERO {
-                h = &h + &xc3.scale(C64::real(om_c / 2.0 * dc.re));
-                h = &h + &yc3.scale(C64::real(om_c / 2.0 * dc.im));
+                h.add_scaled_assign(&xc3, C64::real(om_c / 2.0 * dc.re));
+                h.add_scaled_assign(&yc3, C64::real(om_c / 2.0 * dc.im));
             }
             if dt_ != C64::ZERO {
-                h = &h + &xt3.scale(C64::real(om_t / 2.0 * dt_.re));
-                h = &h + &yt3.scale(C64::real(om_t / 2.0 * dt_.im));
+                h.add_scaled_assign(&xt3, C64::real(om_t / 2.0 * dt_.re));
+                h.add_scaled_assign(&yt3, C64::real(om_t / 2.0 * dt_.im));
             }
             if du != C64::ZERO {
                 let a_re = du.re;
                 let a_im = du.im;
-                h = &h + &zx.scale(C64::real(TAU * self.cr.zx_hz_per_amp / 2.0 * a_re));
-                h = &h + &zy.scale(C64::real(TAU * self.cr.zx_hz_per_amp / 2.0 * a_im));
-                h = &h + &ix.scale(C64::real(TAU * self.cr.ix_hz_per_amp / 2.0 * a_re));
-                h = &h + &iy.scale(C64::real(TAU * self.cr.ix_hz_per_amp / 2.0 * a_im));
+                h.add_scaled_assign(&zx, C64::real(TAU * self.cr.zx_hz_per_amp / 2.0 * a_re));
+                h.add_scaled_assign(&zy, C64::real(TAU * self.cr.zx_hz_per_amp / 2.0 * a_im));
+                h.add_scaled_assign(&ix, C64::real(TAU * self.cr.ix_hz_per_amp / 2.0 * a_re));
+                h.add_scaled_assign(&iy, C64::real(TAU * self.cr.ix_hz_per_amp / 2.0 * a_im));
                 // The ZI term is the control's own AC-Stark shift: it
                 // scales with the drive *power envelope* (phase- and
                 // sign-independent), which is exactly why the echo's X
                 // flip refocuses it.
-                h = &h + &zi.scale(C64::real(TAU * self.cr.zi_hz_per_amp / 2.0 * du.abs()));
+                h.add_scaled_assign(&zi, C64::real(TAU * self.cr.zi_hz_per_amp / 2.0 * du.abs()));
             }
-            let step = unitary_exp(&h, DT);
-            u = &step * &u;
+            scratch.unitary_exp_into(&h, DT, &mut step);
+            step.mul_into(&u, &mut next);
+            std::mem::swap(&mut u, &mut next);
         }
 
         PairFrameResult {
@@ -287,6 +310,7 @@ pub fn qubit_block_of(u9: &CMat) -> CMat {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use quant_math::unitary_exp;
     use quant_pulse::GaussianSquare;
     use std::f64::consts::FRAC_PI_2;
 

@@ -1,0 +1,169 @@
+//! Regression tests for the parallel shot engine's determinism contract
+//! and the pulse cache's drift invalidation.
+//!
+//! The contract: with per-index RNG streams (`seeded(seed ^ index)`),
+//! results are **bit-identical** across thread counts and across
+//! cache-on/cache-off runs. These tests pin that down so a future
+//! scheduler or cache change cannot silently reorder randomness.
+
+use quant_device::{calibrate, Block, DeviceModel, LoweredProgram, PulseExecutor, ShotPool};
+use quant_math::seeded;
+use quant_pulse::Schedule;
+
+/// An X-then-CNOT program on a 2-qubit device (exercises both the 1Q and
+/// the 2Q integration paths, hence both cache key kinds).
+fn bell_ish_program(device: &DeviceModel) -> LoweredProgram {
+    let mut rng = seeded(42);
+    let cal = calibrate(device, &mut rng);
+    let cx = cal.cmd_def().get("cx", &[0, 1]).unwrap().clone();
+    LoweredProgram {
+        num_qubits: 2,
+        blocks: vec![
+            Block::Gate1Q {
+                qubit: 0,
+                waveforms: vec![cal.qubit(0).rx180_waveform("x")],
+            },
+            Block::Gate2Q {
+                control: 0,
+                target: 1,
+                schedule: cx,
+            },
+        ],
+        schedule: Schedule::new("bell-ish"),
+    }
+}
+
+#[test]
+fn counts_identical_across_thread_counts() {
+    let mut rng = seeded(7);
+    let device = DeviceModel::almaden_like(2, &mut rng);
+    let program = bell_ish_program(&device);
+    let exec = PulseExecutor::new(&device);
+    let out = exec.run(&program, &mut seeded(11));
+
+    let seed = 0xD1CE;
+    let shots = 5000;
+    let reference = out.sample_counts_deterministic(seed, shots);
+    assert_eq!(reference.iter().sum::<u64>(), shots as u64);
+    for threads in [1, 2, 8] {
+        let pool = ShotPool::new(threads);
+        let counts = pool.sample_counts(&out.probabilities, shots, seed);
+        assert_eq!(
+            counts, reference,
+            "{threads}-thread counts diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn sweep_results_identical_across_thread_counts() {
+    let mut rng = seeded(9);
+    let device = DeviceModel::almaden_like(2, &mut rng);
+    let program = bell_ish_program(&device);
+
+    // Each sweep point is an independent noisy execution keyed by its
+    // index; probabilities must agree bit-for-bit at every thread count.
+    let sweep = |pool: &ShotPool| -> Vec<Vec<f64>> {
+        pool.map_indices(6, |i| {
+            let exec = PulseExecutor::new(&device);
+            let mut rng = seeded(0xABCD ^ i as u64);
+            exec.run(&program, &mut rng).probabilities
+        })
+    };
+    let reference = sweep(&ShotPool::serial());
+    for threads in [2, 8] {
+        let probs = sweep(&ShotPool::new(threads));
+        for (i, (a, b)) in reference.iter().zip(&probs).enumerate() {
+            assert!(
+                a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "sweep point {i} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn counts_identical_cache_on_and_off() {
+    let mut rng = seeded(13);
+    let device = DeviceModel::almaden_like(2, &mut rng);
+    let program = bell_ish_program(&device);
+
+    let run_with_cache = |enabled: bool| -> (Vec<f64>, Vec<u64>) {
+        device.set_pulse_cache_enabled(enabled);
+        device.pulse_cache().invalidate();
+        let exec = PulseExecutor::new(&device);
+        // Two runs so the second can hit the cache when enabled.
+        let _ = exec.run(&program, &mut seeded(21));
+        let out = exec.run(&program, &mut seeded(21));
+        (
+            out.probabilities.clone(),
+            out.sample_counts_deterministic(77, 4000),
+        )
+    };
+
+    let (p_off, c_off) = run_with_cache(false);
+    let (p_on, c_on) = run_with_cache(true);
+    device.set_pulse_cache_enabled(true);
+    assert!(
+        p_off.iter().zip(&p_on).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "cache changed the outcome distribution"
+    );
+    assert_eq!(c_off, c_on, "cache changed the sampled counts");
+}
+
+#[test]
+fn cache_hits_repeated_noiseless_runs_and_drift_invalidates() {
+    let mut rng = seeded(17);
+    let mut device = DeviceModel::almaden_like(2, &mut rng);
+    device.set_pulse_cache_enabled(true);
+    let program = bell_ish_program(&device);
+    let exec = PulseExecutor::noiseless(&device);
+
+    // Noiseless runs replay bit-identical pulses: the second run must be
+    // answered entirely from the cache.
+    device.pulse_cache().reset_stats();
+    let first = exec.run(&program, &mut seeded(31));
+    let after_first = device.pulse_cache().stats();
+    assert!(after_first.misses > 0, "first run should populate the cache");
+    assert_eq!(after_first.hits, 0);
+    let second = exec.run(&program, &mut seeded(31));
+    let after_second = device.pulse_cache().stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "second noiseless run must not re-integrate"
+    );
+    assert_eq!(after_second.hits, after_first.misses);
+    assert!(first
+        .probabilities
+        .iter()
+        .zip(&second.probabilities)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+
+    // Calibration drift mutates the execution-time physics: the cache is
+    // flushed and the next run re-integrates against the new parameters.
+    let before = device.pulse_cache().stats();
+    assert!(before.entries > 0);
+    device.redraw_drift(&mut seeded(99));
+    let after_drift = device.pulse_cache().stats();
+    assert_eq!(after_drift.entries, 0, "drift must flush the cache");
+    assert_eq!(after_drift.generation, before.generation + 1);
+
+    let exec = PulseExecutor::noiseless(&device);
+    let third = exec.run(&program, &mut seeded(31));
+    let stats = device.pulse_cache().stats();
+    assert_eq!(
+        stats.misses,
+        after_drift.misses + after_first.misses,
+        "post-drift run must re-integrate every pulse"
+    );
+    // And the physics actually changed — stale reuse would be invisible
+    // otherwise.
+    assert!(
+        first
+            .probabilities
+            .iter()
+            .zip(&third.probabilities)
+            .any(|(a, b)| a.to_bits() != b.to_bits()),
+        "drift should perturb the outcome distribution"
+    );
+}

@@ -1,56 +1,77 @@
-//! Property-based tests of the pulse IR's algebraic laws.
+//! Randomized property tests of the pulse IR's algebraic laws.
+//!
+//! Seeded-loop style (the environment is offline, so no proptest): each
+//! test draws random pulse shapes from a deterministic RNG and asserts the
+//! same invariants the original property suite checked.
 
-use proptest::prelude::*;
+use quant_math::seeded;
 use quant_pulse::{Channel, Drag, Gaussian, GaussianSquare, Instruction, Schedule};
+use rand::Rng;
 
-fn arb_gaussian() -> impl Strategy<Value = Gaussian> {
+const CASES: usize = 96;
+
+fn rand_gaussian(rng: &mut impl Rng) -> Gaussian {
     // Physical shapes only: σ between duration/6 and duration/4 (real
     // calibrated pulses are ~4σ long); σ ≫ duration makes the lifted
     // envelope degenerate.
-    (16u64..256, 0.01..0.9f64, 0.0..1.0f64).prop_map(|(duration, amp, s)| Gaussian {
+    let duration = rng.gen_range(16u64..256);
+    let amp = rng.gen_range(0.01..0.9);
+    let s = rng.gen_range(0.0..1.0);
+    Gaussian {
         duration,
         amp,
         sigma: duration as f64 / 6.0 + s * duration as f64 / 12.0,
-    })
+    }
 }
 
-fn arb_gaussian_square() -> impl Strategy<Value = GaussianSquare> {
-    (8.0..24.0f64, 0.05..0.9f64, 0u64..600).prop_map(|(sigma, amp, width)| GaussianSquare {
+fn rand_gaussian_square(rng: &mut impl Rng) -> GaussianSquare {
+    let sigma = rng.gen_range(8.0..24.0);
+    let amp = rng.gen_range(0.05..0.9);
+    let width = rng.gen_range(0u64..600);
+    GaussianSquare {
         duration: (8.0 * sigma) as u64 + width,
         amp,
         sigma,
         width,
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn amplitude_scaling_is_linear(g in arb_gaussian(), s in -1.0..1.0f64) {
+#[test]
+fn amplitude_scaling_is_linear() {
+    let mut rng = seeded(0x21);
+    for _ in 0..CASES {
+        let g = rand_gaussian(&mut rng);
+        let s = rng.gen_range(-1.0..1.0);
         let w = g.waveform("w");
         let scaled = w.scaled(s);
-        prop_assert!((scaled.area().re - w.area().re * s).abs() < 1e-9);
-        prop_assert_eq!(scaled.duration(), w.duration());
+        assert!((scaled.area().re - w.area().re * s).abs() < 1e-9);
+        assert_eq!(scaled.duration(), w.duration());
     }
+}
 
-    #[test]
-    fn lifted_envelopes_start_and_end_near_zero(g in arb_gaussian()) {
+#[test]
+fn lifted_envelopes_start_and_end_near_zero() {
+    let mut rng = seeded(0x22);
+    for _ in 0..CASES {
+        let g = rand_gaussian(&mut rng);
         // The lift zeroes the envelope one sample *outside* the window, so
         // the boundary samples are bounded by one sample of slope.
         let w = g.waveform("w");
         let s = w.samples();
         let bound = g.amp / g.sigma;
-        prop_assert!(s[0].abs() <= bound, "start = {} bound {bound}", s[0].abs());
-        prop_assert!(s[s.len() - 1].abs() <= bound);
+        assert!(s[0].abs() <= bound, "start = {} bound {bound}", s[0].abs());
+        assert!(s[s.len() - 1].abs() <= bound);
         // And symmetric.
-        prop_assert!((s[0].re - s[s.len() - 1].re).abs() < 1e-9);
+        assert!((s[0].re - s[s.len() - 1].re).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn drag_imag_part_is_antisymmetric(
-        g in arb_gaussian(), beta in -3.0..3.0f64
-    ) {
+#[test]
+fn drag_imag_part_is_antisymmetric() {
+    let mut rng = seeded(0x23);
+    for _ in 0..CASES {
+        let g = rand_gaussian(&mut rng);
+        let beta = rng.gen_range(-3.0..3.0);
         let d = Drag {
             duration: g.duration,
             amp: g.amp,
@@ -59,69 +80,123 @@ proptest! {
         };
         let w = d.waveform("d");
         // Total imaginary area vanishes (odd function).
-        prop_assert!(w.area().im.abs() < 1e-8 * (1.0 + beta.abs()));
+        assert!(w.area().im.abs() < 1e-8 * (1.0 + beta.abs()));
     }
+}
 
-    #[test]
-    fn stretch_hits_requested_area(gs in arb_gaussian_square(), f in 0.05..2.5f64) {
+#[test]
+fn stretch_hits_requested_area() {
+    let mut rng = seeded(0x24);
+    for _ in 0..CASES {
+        let gs = rand_gaussian_square(&mut rng);
+        let f = rng.gen_range(0.05..2.5);
         let w0 = gs.waveform("a");
         let stretched = gs.stretched_area(f).waveform("b");
         let target = w0.area().re * f;
         // Rounding to whole samples bounds the error by one sample of
         // amplitude.
-        prop_assert!(
+        assert!(
             (stretched.area().re - target).abs() <= gs.amp + 1e-9,
             "area {} vs target {target}",
             stretched.area().re
         );
     }
+}
 
-    #[test]
-    fn schedule_append_durations_add(g1 in arb_gaussian(), g2 in arb_gaussian()) {
+#[test]
+fn schedule_append_durations_add() {
+    let mut rng = seeded(0x25);
+    for _ in 0..CASES {
+        let g1 = rand_gaussian(&mut rng);
+        let g2 = rand_gaussian(&mut rng);
         let mut s = Schedule::new("s");
         let ch = Channel::Drive(0);
-        s.append(Instruction::Play { waveform: g1.waveform("a"), channel: ch });
-        s.append(Instruction::Play { waveform: g2.waveform("b"), channel: ch });
-        prop_assert_eq!(s.duration(), g1.duration + g2.duration);
+        s.append(Instruction::Play {
+            waveform: g1.waveform("a"),
+            channel: ch,
+        });
+        s.append(Instruction::Play {
+            waveform: g2.waveform("b"),
+            channel: ch,
+        });
+        assert_eq!(s.duration(), g1.duration + g2.duration);
     }
+}
 
-    #[test]
-    fn parallel_channels_do_not_serialize(g1 in arb_gaussian(), g2 in arb_gaussian()) {
+#[test]
+fn parallel_channels_do_not_serialize() {
+    let mut rng = seeded(0x26);
+    for _ in 0..CASES {
+        let g1 = rand_gaussian(&mut rng);
+        let g2 = rand_gaussian(&mut rng);
         let mut s = Schedule::new("s");
-        s.append(Instruction::Play { waveform: g1.waveform("a"), channel: Channel::Drive(0) });
-        s.append(Instruction::Play { waveform: g2.waveform("b"), channel: Channel::Drive(1) });
-        prop_assert_eq!(s.duration(), g1.duration.max(g2.duration));
+        s.append(Instruction::Play {
+            waveform: g1.waveform("a"),
+            channel: Channel::Drive(0),
+        });
+        s.append(Instruction::Play {
+            waveform: g2.waveform("b"),
+            channel: Channel::Drive(1),
+        });
+        assert_eq!(s.duration(), g1.duration.max(g2.duration));
     }
+}
 
-    #[test]
-    fn append_schedule_never_shrinks(g1 in arb_gaussian(), g2 in arb_gaussian()) {
+#[test]
+fn append_schedule_never_shrinks() {
+    let mut rng = seeded(0x27);
+    for _ in 0..CASES {
+        let g1 = rand_gaussian(&mut rng);
+        let g2 = rand_gaussian(&mut rng);
         let mut a = Schedule::new("a");
-        a.append(Instruction::Play { waveform: g1.waveform("a"), channel: Channel::Drive(0) });
+        a.append(Instruction::Play {
+            waveform: g1.waveform("a"),
+            channel: Channel::Drive(0),
+        });
         let before = a.duration();
         let mut b = Schedule::new("b");
-        b.append(Instruction::Play { waveform: g2.waveform("b"), channel: Channel::Drive(0) });
+        b.append(Instruction::Play {
+            waveform: g2.waveform("b"),
+            channel: Channel::Drive(0),
+        });
         a.append_schedule(&b);
-        prop_assert!(a.duration() >= before);
-        prop_assert_eq!(a.duration(), g1.duration + g2.duration);
+        assert!(a.duration() >= before);
+        assert_eq!(a.duration(), g1.duration + g2.duration);
     }
+}
 
-    #[test]
-    fn shift_phase_keeps_duration(g in arb_gaussian(), phase in -6.3..6.3f64) {
+#[test]
+fn shift_phase_keeps_duration() {
+    let mut rng = seeded(0x28);
+    for _ in 0..CASES {
+        let g = rand_gaussian(&mut rng);
+        let phase = rng.gen_range(-6.3..6.3);
         let mut s = Schedule::new("s");
         let ch = Channel::Drive(0);
         s.append(Instruction::ShiftPhase { phase, channel: ch });
-        s.append(Instruction::Play { waveform: g.waveform("w"), channel: ch });
-        s.append(Instruction::ShiftPhase { phase: -phase, channel: ch });
-        prop_assert_eq!(s.duration(), g.duration);
-        prop_assert_eq!(s.pulse_count(), 1);
+        s.append(Instruction::Play {
+            waveform: g.waveform("w"),
+            channel: ch,
+        });
+        s.append(Instruction::ShiftPhase {
+            phase: -phase,
+            channel: ch,
+        });
+        assert_eq!(s.duration(), g.duration);
+        assert_eq!(s.pulse_count(), 1);
     }
+}
 
-    #[test]
-    fn scaled_complex_preserves_magnitudes(g in arb_gaussian(), phi in -6.3..6.3f64) {
+#[test]
+fn scaled_complex_preserves_magnitudes() {
+    let mut rng = seeded(0x29);
+    for _ in 0..CASES {
+        let g = rand_gaussian(&mut rng);
+        let phi = rng.gen_range(-6.3..6.3);
         let w = g.waveform("w");
         let rotated = w.scaled_complex(quant_math::C64::cis(phi));
         for (a, b) in w.samples().iter().zip(rotated.samples()) {
-            prop_assert!((a.abs() - b.abs()).abs() < 1e-12);
+            assert!((a.abs() - b.abs()).abs() < 1e-12);
         }
     }
 }

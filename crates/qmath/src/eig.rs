@@ -116,27 +116,10 @@ pub fn unitary_exp(h: &CMat, t: f64) -> CMat {
 /// short-time propagators; not intended for stiff problems.
 pub fn expm(a: &CMat) -> CMat {
     assert!(a.is_square(), "expm requires a square matrix");
-    let norm = a.frobenius_norm();
-    let squarings = if norm > 0.5 {
-        (norm / 0.5).log2().ceil().max(0.0) as u32
-    } else {
-        0
-    };
-    let scaled = a.scale(C64::real(1.0 / f64::powi(2.0, squarings as i32)));
-    // Taylor series to order 14 on the scaled matrix.
-    let n = a.rows();
-    let mut term = CMat::identity(n);
-    let mut sum = CMat::identity(n);
-    for k in 1..=14 {
-        term = &term * &scaled;
-        term = term.scale(C64::real(1.0 / k as f64));
-        sum = &sum + &term;
-    }
-    let mut result = sum;
-    for _ in 0..squarings {
-        result = &result * &result;
-    }
-    result
+    let mut scratch = crate::prop::PropagatorScratch::new(a.rows());
+    let mut out = CMat::zeros(a.rows(), a.cols());
+    scratch.expm_of_into(a, &mut out);
+    out
 }
 
 #[cfg(test)]

@@ -26,10 +26,12 @@ mod fit;
 mod mat;
 mod optimize;
 mod poly;
+mod prop;
 mod rng;
 
 pub use complex::C64;
 pub use eig::{eigh, expm, unitary_exp, HermitianEig};
+pub use prop::PropagatorScratch;
 pub use fit::{fit_cosine, fit_exp_decay, linear_least_squares, CosineFit, ExpDecayFit};
 pub use mat::CMat;
 pub use optimize::{

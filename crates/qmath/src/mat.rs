@@ -157,17 +157,120 @@ impl CMat {
     ///
     /// Panics on dimension mismatch.
     pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
-        assert_eq!(self.cols, v.len(), "matrix-vector dimension mismatch");
         let mut out = vec![C64::ZERO; self.rows];
-        for r in 0..self.rows {
-            let mut acc = C64::ZERO;
-            let base = r * self.cols;
-            for c in 0..self.cols {
-                acc += self.data[base + c] * v[c];
-            }
-            out[r] = acc;
-        }
+        self.mul_vec_into(v, &mut out);
         out
+    }
+
+    /// Matrix-vector product into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec_into(&self, v: &[C64], out: &mut [C64]) {
+        assert_eq!(self.cols, v.len(), "matrix-vector dimension mismatch");
+        assert_eq!(self.rows, out.len(), "output length mismatch");
+        for (row, o) in self.data.chunks_exact(self.cols).zip(out.iter_mut()) {
+            let mut acc = C64::ZERO;
+            for (&m, &x) in row.iter().zip(v) {
+                acc += m * x;
+            }
+            *o = acc;
+        }
+    }
+
+    /// Matrix product into a caller-provided buffer (no allocation).
+    ///
+    /// `out` is overwritten and must not alias `self` or `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_into(&self, rhs: &CMat, out: &mut CMat) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(out.rows, self.rows, "output row mismatch");
+        assert_eq!(out.cols, rhs.cols, "output column mismatch");
+        // Fully unrolled 3×3 kernel: the qutrit propagator spends its whole
+        // inner loop here, and keeping both operands in registers roughly
+        // halves the per-product cost versus the generic row loop.
+        if self.rows == 3 && self.cols == 3 && rhs.cols == 3 {
+            let a = &self.data[..9];
+            let b = &rhs.data[..9];
+            let o = &mut out.data[..9];
+            for r in 0..3 {
+                let (a0, a1, a2) = (a[3 * r], a[3 * r + 1], a[3 * r + 2]);
+                o[3 * r] = a0 * b[0] + a1 * b[3] + a2 * b[6];
+                o[3 * r + 1] = a0 * b[1] + a1 * b[4] + a2 * b[7];
+                o[3 * r + 2] = a0 * b[2] + a1 * b[5] + a2 * b[8];
+            }
+            return;
+        }
+        // Slice-based row iteration: the zip bounds are provable, so the
+        // inner loop compiles without bounds checks and vectorizes.
+        for (out_row, a_row) in out
+            .data
+            .chunks_exact_mut(rhs.cols)
+            .zip(self.data.chunks_exact(self.cols))
+        {
+            out_row.fill(C64::ZERO);
+            for (&a, rhs_row) in a_row.iter().zip(rhs.data.chunks_exact(rhs.cols)) {
+                if a == C64::ZERO {
+                    continue;
+                }
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * r;
+                }
+            }
+        }
+    }
+
+    /// Overwrites `self` with the entries of `other` (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn copy_from(&mut self, other: &CMat) {
+        assert_eq!(self.rows, other.rows, "copy_from row mismatch");
+        assert_eq!(self.cols, other.cols, "copy_from column mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Scales every entry in place.
+    pub fn scale_assign(&mut self, k: C64) {
+        for z in &mut self.data {
+            *z *= k;
+        }
+    }
+
+    /// `self += k · other`, entry-wise, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add_scaled_assign(&mut self, other: &CMat, k: C64) {
+        assert_eq!(self.rows, other.rows, "add_scaled_assign row mismatch");
+        assert_eq!(self.cols, other.cols, "add_scaled_assign column mismatch");
+        for (z, &o) in self.data.iter_mut().zip(&other.data) {
+            *z += o * k;
+        }
+    }
+
+    /// Zeroes every entry in place.
+    pub fn set_zero(&mut self) {
+        self.data.fill(C64::ZERO);
+    }
+
+    /// Overwrites `self` with the identity (square matrices only).
+    pub fn set_identity(&mut self) {
+        assert!(self.is_square(), "set_identity requires a square matrix");
+        self.data.fill(C64::ZERO);
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] = C64::ONE;
+        }
     }
 
     /// Frobenius norm `√Σ|aᵢⱼ|²`.
@@ -191,7 +294,7 @@ impl CMat {
         if !self.is_square() {
             return false;
         }
-        let prod = self.dagger() * self.clone();
+        let prod = &self.dagger() * self;
         prod.max_abs_diff(&CMat::identity(self.rows)) <= tol
     }
 
@@ -332,7 +435,7 @@ impl CMat {
     /// `min_φ ‖A − e^{iφ}B‖∞`, computed via phase alignment on the largest
     /// overlap.
     pub fn phase_invariant_diff(&self, other: &CMat) -> f64 {
-        let overlap = (self.dagger() * other.clone()).trace();
+        let overlap = (&self.dagger() * other).trace();
         if overlap.abs() < 1e-300 {
             return self.max_abs_diff(other);
         }
@@ -405,25 +508,8 @@ impl Mul for CMat {
 impl Mul for &CMat {
     type Output = CMat;
     fn mul(self, rhs: &CMat) -> CMat {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matrix product dimension mismatch: {}x{} * {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
         let mut out = CMat::zeros(self.rows, rhs.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                if a == C64::ZERO {
-                    continue;
-                }
-                let rhs_base = k * rhs.cols;
-                let out_base = r * rhs.cols;
-                for c in 0..rhs.cols {
-                    out.data[out_base + c] += a * rhs.data[rhs_base + c];
-                }
-            }
-        }
+        self.mul_into(rhs, &mut out);
         out
     }
 }
@@ -560,5 +646,47 @@ mod tests {
         let got = a.mul_vec(&v);
         assert!(got[0].approx_eq(C64::new(0.8, 0.0), 1e-12));
         assert!(got[1].approx_eq(C64::new(0.0, 0.6), 1e-12));
+    }
+
+    #[test]
+    fn mul_into_matches_operator() {
+        let a = pauli_x();
+        let b = pauli_y();
+        let expect = &a * &b;
+        let mut out = CMat::zeros(2, 2);
+        a.mul_into(&b, &mut out);
+        assert!(out.max_abs_diff(&expect) < 1e-15);
+        // Reuse of a dirty buffer must still give the same answer.
+        a.mul_into(&b, &mut out);
+        assert!(out.max_abs_diff(&expect) < 1e-15);
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let a = pauli_y();
+        let v = [C64::new(0.6, 0.0), C64::new(0.0, 0.8)];
+        let mut out = [C64::ONE; 2];
+        a.mul_vec_into(&v, &mut out);
+        for (got, want) in out.iter().zip(a.mul_vec(&v)) {
+            assert!(got.approx_eq(want, 1e-15));
+        }
+    }
+
+    #[test]
+    fn in_place_helpers() {
+        let mut m = CMat::zeros(2, 2);
+        m.set_identity();
+        assert!(m.max_abs_diff(&CMat::identity(2)) < 1e-15);
+        m.add_scaled_assign(&pauli_z(), C64::real(2.0));
+        // I + 2Z = diag(3, -1).
+        assert!(m[(0, 0)].approx_eq(C64::real(3.0), 1e-15));
+        assert!(m[(1, 1)].approx_eq(C64::real(-1.0), 1e-15));
+        m.scale_assign(C64::imag(1.0));
+        assert!(m[(0, 0)].approx_eq(C64::imag(3.0), 1e-15));
+        let snapshot = m.clone();
+        m.set_zero();
+        assert!(m.frobenius_norm() < 1e-15);
+        m.copy_from(&snapshot);
+        assert!(m.max_abs_diff(&snapshot) < 1e-15);
     }
 }

@@ -259,7 +259,7 @@ pub fn nelder_mead_multistart(
     for s in starts {
         let r = nelder_mead(&mut f, s, opts);
         total_evals += r.evals;
-        if best.as_ref().map_or(true, |b| r.fx < b.fx) {
+        if best.as_ref().is_none_or(|b| r.fx < b.fx) {
             best = Some(r);
         }
     }

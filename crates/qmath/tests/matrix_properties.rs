@@ -1,110 +1,154 @@
-//! Property-based tests of the linear-algebra substrate.
+//! Randomized property tests of the linear-algebra substrate.
+//!
+//! Seeded-loop style (the environment is offline, so no proptest): each
+//! test draws a fixed number of random cases from a deterministic RNG and
+//! asserts the same invariants the original property suite checked.
 
-use proptest::prelude::*;
-use quant_math::{eigh, unitary_exp, C64, CMat};
+use quant_math::{eigh, seeded, unitary_exp, C64, CMat};
+use rand::Rng;
 
-fn arb_c64() -> impl Strategy<Value = C64> {
-    (-1.0..1.0f64, -1.0..1.0f64).prop_map(|(re, im)| C64::new(re, im))
+const CASES: usize = 64;
+
+fn rand_c64(rng: &mut impl Rng) -> C64 {
+    C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
 }
 
-fn arb_matrix(n: usize) -> impl Strategy<Value = CMat> {
-    proptest::collection::vec(arb_c64(), n * n).prop_map(move |v| {
-        CMat::from_fn(n, n, |r, c| v[r * n + c])
-    })
+fn rand_matrix(rng: &mut impl Rng, n: usize) -> CMat {
+    let entries: Vec<C64> = (0..n * n).map(|_| rand_c64(rng)).collect();
+    CMat::from_fn(n, n, |r, c| entries[r * n + c])
 }
 
-fn arb_hermitian(n: usize) -> impl Strategy<Value = CMat> {
-    arb_matrix(n).prop_map(|m| {
-        let dag = m.dagger();
-        (&m + &dag).scale(C64::real(0.5))
-    })
+fn rand_hermitian(rng: &mut impl Rng, n: usize) -> CMat {
+    let m = rand_matrix(rng, n);
+    let dag = m.dagger();
+    (&m + &dag).scale(C64::real(0.5))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn complex_field_axioms(a in arb_c64(), b in arb_c64(), c in arb_c64()) {
-        prop_assert!(((a + b) + c).approx_eq(a + (b + c), 1e-12));
-        prop_assert!((a * b).approx_eq(b * a, 1e-12));
-        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-10));
-        prop_assert!((a.conj().conj()).approx_eq(a, 1e-15));
-        prop_assert!(((a * b).conj()).approx_eq(a.conj() * b.conj(), 1e-12));
+#[test]
+fn complex_field_axioms() {
+    let mut rng = seeded(0x11);
+    for _ in 0..CASES {
+        let (a, b, c) = (rand_c64(&mut rng), rand_c64(&mut rng), rand_c64(&mut rng));
+        assert!(((a + b) + c).approx_eq(a + (b + c), 1e-12));
+        assert!((a * b).approx_eq(b * a, 1e-12));
+        assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-10));
+        assert!((a.conj().conj()).approx_eq(a, 1e-15));
+        assert!(((a * b).conj()).approx_eq(a.conj() * b.conj(), 1e-12));
     }
+}
 
-    #[test]
-    fn matrix_product_associativity(
-        a in arb_matrix(3), b in arb_matrix(3), c in arb_matrix(3)
-    ) {
+#[test]
+fn matrix_product_associativity() {
+    let mut rng = seeded(0x12);
+    for _ in 0..CASES {
+        let a = rand_matrix(&mut rng, 3);
+        let b = rand_matrix(&mut rng, 3);
+        let c = rand_matrix(&mut rng, 3);
         let lhs = &(&a * &b) * &c;
         let rhs = &a * &(&b * &c);
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-9);
     }
+}
 
-    #[test]
-    fn dagger_antihomomorphism(a in arb_matrix(3), b in arb_matrix(3)) {
+#[test]
+fn dagger_antihomomorphism() {
+    let mut rng = seeded(0x13);
+    for _ in 0..CASES {
+        let a = rand_matrix(&mut rng, 3);
+        let b = rand_matrix(&mut rng, 3);
         let lhs = (&a * &b).dagger();
         let rhs = &b.dagger() * &a.dagger();
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-10);
     }
+}
 
-    #[test]
-    fn kron_mixed_product(a in arb_matrix(2), b in arb_matrix(2),
-                          c in arb_matrix(2), d in arb_matrix(2)) {
+#[test]
+fn kron_mixed_product() {
+    let mut rng = seeded(0x14);
+    for _ in 0..CASES {
+        let a = rand_matrix(&mut rng, 2);
+        let b = rand_matrix(&mut rng, 2);
+        let c = rand_matrix(&mut rng, 2);
+        let d = rand_matrix(&mut rng, 2);
         let lhs = &a.kron(&b) * &c.kron(&d);
         let rhs = (&a * &c).kron(&(&b * &d));
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-9);
     }
+}
 
-    #[test]
-    fn eigh_reconstructs(h in arb_hermitian(4)) {
+#[test]
+fn eigh_reconstructs() {
+    let mut rng = seeded(0x15);
+    for _ in 0..CASES {
+        let h = rand_hermitian(&mut rng, 4);
         let eig = eigh(&h);
         let lambda: Vec<C64> = eig.values.iter().map(|&v| C64::real(v)).collect();
         let recon = &(&eig.vectors * &CMat::diag(&lambda)) * &eig.vectors.dagger();
-        prop_assert!(recon.max_abs_diff(&h) < 1e-7);
-        prop_assert!(eig.vectors.is_unitary(1e-7));
+        assert!(recon.max_abs_diff(&h) < 1e-7);
+        assert!(eig.vectors.is_unitary(1e-7));
         // Eigenvalues sorted ascending.
         for w in eig.values.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-10);
+            assert!(w[0] <= w[1] + 1e-10);
         }
     }
+}
 
-    #[test]
-    fn unitary_exp_is_unitary_and_composes(h in arb_hermitian(3),
-                                           t1 in -2.0..2.0f64, t2 in -2.0..2.0f64) {
+#[test]
+fn unitary_exp_is_unitary_and_composes() {
+    let mut rng = seeded(0x16);
+    for _ in 0..CASES {
+        let h = rand_hermitian(&mut rng, 3);
+        let t1 = rng.gen_range(-2.0..2.0);
+        let t2 = rng.gen_range(-2.0..2.0);
         let u1 = unitary_exp(&h, t1);
         let u2 = unitary_exp(&h, t2);
         let u12 = unitary_exp(&h, t1 + t2);
-        prop_assert!(u1.is_unitary(1e-8));
-        prop_assert!((&u1 * &u2).max_abs_diff(&u12) < 1e-7, "exp(-iHt) group law");
+        assert!(u1.is_unitary(1e-8));
+        assert!(
+            (&u1 * &u2).max_abs_diff(&u12) < 1e-7,
+            "exp(-iHt) group law"
+        );
     }
+}
 
-    #[test]
-    fn solve_then_multiply_round_trips(a in arb_matrix(3),
-                                       x in proptest::collection::vec(arb_c64(), 3)) {
+#[test]
+fn solve_then_multiply_round_trips() {
+    let mut rng = seeded(0x17);
+    for _ in 0..CASES {
+        let a = rand_matrix(&mut rng, 3);
+        let x: Vec<C64> = (0..3).map(|_| rand_c64(&mut rng)).collect();
         // Skip near-singular draws.
         if a.det().abs() > 0.1 {
             let b = a.mul_vec(&x);
             let solved = a.solve(&b).expect("well-conditioned");
             for (got, want) in solved.iter().zip(&x) {
-                prop_assert!(got.approx_eq(*want, 1e-6));
+                assert!(got.approx_eq(*want, 1e-6));
             }
         }
     }
+}
 
-    #[test]
-    fn inverse_is_two_sided(a in arb_matrix(3)) {
+#[test]
+fn inverse_is_two_sided() {
+    let mut rng = seeded(0x18);
+    for _ in 0..CASES {
+        let a = rand_matrix(&mut rng, 3);
         if a.det().abs() > 0.1 {
             let inv = a.inverse().expect("well-conditioned");
-            prop_assert!((&a * &inv).max_abs_diff(&CMat::identity(3)) < 1e-7);
-            prop_assert!((&inv * &a).max_abs_diff(&CMat::identity(3)) < 1e-7);
+            assert!((&a * &inv).max_abs_diff(&CMat::identity(3)) < 1e-7);
+            assert!((&inv * &a).max_abs_diff(&CMat::identity(3)) < 1e-7);
         }
     }
+}
 
-    #[test]
-    fn trace_is_similarity_invariant(a in arb_matrix(3), h in arb_hermitian(3)) {
+#[test]
+fn trace_is_similarity_invariant() {
+    let mut rng = seeded(0x19);
+    for _ in 0..CASES {
+        let a = rand_matrix(&mut rng, 3);
+        let h = rand_hermitian(&mut rng, 3);
         let u = unitary_exp(&h, 1.0);
         let conj = &(&u * &a) * &u.dagger();
-        prop_assert!((a.trace() - conj.trace()).abs() < 1e-8);
+        assert!((a.trace() - conj.trace()).abs() < 1e-8);
     }
 }

@@ -1,43 +1,64 @@
-//! Property-based tests of the quantum simulator.
+//! Randomized property tests of the quantum simulator.
+//!
+//! Seeded-loop style (the environment is offline, so no proptest): each
+//! test draws random gate programs from a deterministic RNG and asserts
+//! the same invariants the original property suite checked.
 
-use proptest::prelude::*;
-use quant_math::{C64, CMat};
+use quant_math::{seeded, C64, CMat};
 use quant_sim::{channels, gates, DensityMatrix, StateVector};
+use rand::Rng;
 
-fn arb_u3() -> impl Strategy<Value = CMat> {
-    (
-        0.0..std::f64::consts::PI,
-        -std::f64::consts::PI..std::f64::consts::PI,
-        -std::f64::consts::PI..std::f64::consts::PI,
+const CASES: usize = 64;
+
+fn rand_u3(rng: &mut impl Rng) -> CMat {
+    gates::u3(
+        rng.gen_range(0.0..std::f64::consts::PI),
+        rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+        rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
     )
-        .prop_map(|(t, p, l)| gates::u3(t, p, l))
 }
 
 /// A short random gate program on 3 qubits.
-fn arb_program() -> impl Strategy<Value = Vec<(CMat, Vec<usize>)>> {
-    let op = prop_oneof![
-        (arb_u3(), 0usize..3).prop_map(|(u, q)| (u, vec![q])),
-        (0usize..2).prop_map(|q| (gates::cnot(), vec![q, q + 1])),
-        ((0usize..2), 0.1..3.0f64).prop_map(|(q, t)| (gates::zz(t), vec![q, q + 1])),
-    ];
-    proptest::collection::vec(op, 1..10)
+fn rand_program(rng: &mut impl Rng) -> Vec<(CMat, Vec<usize>)> {
+    let len = rng.gen_range(1usize..10);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..3) {
+            0 => {
+                let q = rng.gen_range(0usize..3);
+                (rand_u3(rng), vec![q])
+            }
+            1 => {
+                let q = rng.gen_range(0usize..2);
+                (gates::cnot(), vec![q, q + 1])
+            }
+            _ => {
+                let q = rng.gen_range(0usize..2);
+                let t = rng.gen_range(0.1..3.0);
+                (gates::zz(t), vec![q, q + 1])
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn state_norm_preserved(prog in arb_program()) {
+#[test]
+fn state_norm_preserved() {
+    let mut rng = seeded(0x31);
+    for _ in 0..CASES {
+        let prog = rand_program(&mut rng);
         let mut psi = StateVector::zero_qubits(3);
         for (u, targets) in &prog {
             psi.apply_unitary(u, targets);
         }
         let total: f64 = psi.probabilities().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn density_matrix_matches_state_vector(prog in arb_program()) {
+#[test]
+fn density_matrix_matches_state_vector() {
+    let mut rng = seeded(0x32);
+    for _ in 0..CASES {
+        let prog = rand_program(&mut rng);
         let mut psi = StateVector::zero_qubits(3);
         let mut rho = DensityMatrix::zero_qubits(3);
         for (u, targets) in &prog {
@@ -45,63 +66,77 @@ proptest! {
             rho.apply_unitary(u, targets);
         }
         for (a, b) in psi.probabilities().iter().zip(rho.probabilities()) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
-        prop_assert!((rho.purity() - 1.0).abs() < 1e-8);
+        assert!((rho.purity() - 1.0).abs() < 1e-8);
     }
+}
 
-    #[test]
-    fn channels_keep_density_matrices_physical(
-        prog in arb_program(),
-        gamma in 0.0..0.5f64,
-        p in 0.0..0.5f64,
-    ) {
+#[test]
+fn channels_keep_density_matrices_physical() {
+    let mut rng = seeded(0x33);
+    for _ in 0..CASES {
+        let prog = rand_program(&mut rng);
+        let gamma = rng.gen_range(0.0..0.5);
+        let p = rng.gen_range(0.0..0.5);
         let mut rho = DensityMatrix::zero_qubits(3);
         for (u, targets) in &prog {
             rho.apply_unitary(u, targets);
             rho.apply_kraus(&channels::amplitude_damping(gamma), &[targets[0]]);
             rho.apply_kraus(&channels::depolarizing(p), &[targets[0]]);
         }
-        prop_assert!((rho.trace() - 1.0).abs() < 1e-8);
-        prop_assert!(rho.purity() <= 1.0 + 1e-9);
+        assert!((rho.trace() - 1.0).abs() < 1e-8);
+        assert!(rho.purity() <= 1.0 + 1e-9);
         for prob in rho.probabilities() {
-            prop_assert!(prob >= -1e-10);
+            assert!(prob >= -1e-10);
         }
     }
+}
 
-    #[test]
-    fn expectation_bounded_by_operator_norm(u in arb_u3()) {
+#[test]
+fn expectation_bounded_by_operator_norm() {
+    let mut rng = seeded(0x34);
+    for _ in 0..CASES {
+        let u = rand_u3(&mut rng);
         let mut psi = StateVector::zero_qubits(1);
         psi.apply_unitary(&u, &[0]);
         for op in [gates::x(), gates::y(), gates::z()] {
             let e = psi.expectation(&op, &[0]);
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e));
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e));
         }
         // Bloch norm ≤ 1 for pure states (== 1 in fact).
         let (x, y, z) = psi.bloch(0);
-        prop_assert!(((x * x + y * y + z * z).sqrt() - 1.0).abs() < 1e-9);
+        assert!(((x * x + y * y + z * z).sqrt() - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn bloch_matches_expectations(u in arb_u3()) {
+#[test]
+fn bloch_matches_expectations() {
+    let mut rng = seeded(0x35);
+    for _ in 0..CASES {
+        let u = rand_u3(&mut rng);
         let mut psi = StateVector::zero_qubits(1);
         psi.apply_unitary(&u, &[0]);
         let (x, y, z) = psi.bloch(0);
-        prop_assert!((x - psi.expectation(&gates::x(), &[0])).abs() < 1e-9);
-        prop_assert!((y - psi.expectation(&gates::y(), &[0])).abs() < 1e-9);
-        prop_assert!((z - psi.expectation(&gates::z(), &[0])).abs() < 1e-9);
+        assert!((x - psi.expectation(&gates::x(), &[0])).abs() < 1e-9);
+        assert!((y - psi.expectation(&gates::y(), &[0])).abs() < 1e-9);
+        assert!((z - psi.expectation(&gates::z(), &[0])).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn partial_trace_is_consistent(prog in arb_program()) {
+#[test]
+fn partial_trace_is_consistent() {
+    let mut rng = seeded(0x36);
+    for _ in 0..CASES {
+        let prog = rand_program(&mut rng);
         let mut psi = StateVector::zero_qubits(3);
         for (u, targets) in &prog {
             psi.apply_unitary(u, targets);
         }
         for q in 0..3 {
             let r = psi.reduced_density(q);
-            prop_assert!((r.trace().re - 1.0).abs() < 1e-9);
-            prop_assert!(r.is_hermitian(1e-9));
+            assert!((r.trace().re - 1.0).abs() < 1e-9);
+            assert!(r.is_hermitian(1e-9));
             // Diagonal matches the marginal distribution.
             let marginal: f64 = psi
                 .probabilities()
@@ -110,16 +145,20 @@ proptest! {
                 .filter(|(idx, _)| (idx >> q) & 1 == 0)
                 .map(|(_, &p)| p)
                 .sum();
-            prop_assert!((r[(0, 0)].re - marginal).abs() < 1e-9);
+            assert!((r[(0, 0)].re - marginal).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn embed_respects_identity(u in arb_u3()) {
+#[test]
+fn embed_respects_identity() {
+    let mut rng = seeded(0x37);
+    for _ in 0..CASES {
+        let u = rand_u3(&mut rng);
         let dims = vec![2usize; 3];
         let full = quant_sim::embed(&u, &[1], &dims);
         let expect = CMat::identity(2).kron(&u).kron(&CMat::identity(2));
-        prop_assert!(full.max_abs_diff(&expect) < 1e-12);
+        assert!(full.max_abs_diff(&expect) < 1e-12);
         let _ = C64::ZERO;
     }
 }

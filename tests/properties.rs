@@ -1,139 +1,197 @@
-//! Property-based tests (proptest) on core invariants across the stack.
+//! Randomized tests of core invariants across the stack.
+//!
+//! Seeded-loop style (the environment is offline, so no proptest): each
+//! test draws random circuits/unitaries from a deterministic RNG and
+//! asserts the same invariants the original property suite checked.
 
 use openpulse_repro::characterization::hellinger_distance;
 use openpulse_repro::circuit::{Circuit, Gate};
 use openpulse_repro::compiler::{optimize, to_basis, weyl_coordinates, BasisKind};
-use openpulse_repro::math::{eigh, C64, CMat};
+use openpulse_repro::math::{eigh, seeded, C64, CMat};
 use openpulse_repro::sim::{channels, euler_zxz, gates, StateVector};
-use proptest::prelude::*;
+use rand::Rng;
 
-/// Strategy: a random single-qubit unitary via U3 angles.
-fn arb_u3() -> impl Strategy<Value = CMat> {
-    (
-        0.0..std::f64::consts::PI,
-        -std::f64::consts::PI..std::f64::consts::PI,
-        -std::f64::consts::PI..std::f64::consts::PI,
+const CASES: usize = 48;
+
+/// A random single-qubit unitary via U3 angles.
+fn rand_u3(rng: &mut impl Rng) -> CMat {
+    gates::u3(
+        rng.gen_range(0.0..std::f64::consts::PI),
+        rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+        rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
     )
-        .prop_map(|(t, p, l)| gates::u3(t, p, l))
 }
 
-/// Strategy: a random 3-qubit circuit from a closed gate vocabulary.
-fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    let gate = prop_oneof![
-        (0u32..3).prop_map(|q| (Gate::H, vec![q])),
-        (0u32..3).prop_map(|q| (Gate::X, vec![q])),
-        (0u32..3, -3.0..3.0f64).prop_map(|(q, a)| (Gate::Rz(a), vec![q])),
-        (0u32..3, -3.0..3.0f64).prop_map(|(q, a)| (Gate::Rx(a), vec![q])),
-        (0u32..3, -3.0..3.0f64).prop_map(|(q, a)| (Gate::Ry(a), vec![q])),
-        (0u32..2).prop_map(|q| (Gate::Cnot, vec![q, q + 1])),
-        (0u32..2, -3.0..3.0f64).prop_map(|(q, a)| (Gate::Zz(a), vec![q, q + 1])),
-    ];
-    proptest::collection::vec(gate, 1..12).prop_map(|ops| {
-        let mut c = Circuit::new(3);
-        for (g, qs) in ops {
-            c.push(g, &qs);
+/// A random 3-qubit circuit from a closed gate vocabulary.
+fn rand_circuit(rng: &mut impl Rng) -> Circuit {
+    let len = rng.gen_range(1usize..12);
+    let mut c = Circuit::new(3);
+    for _ in 0..len {
+        match rng.gen_range(0u32..7) {
+            0 => {
+                let q = rng.gen_range(0u32..3);
+                c.push(Gate::H, &[q]);
+            }
+            1 => {
+                let q = rng.gen_range(0u32..3);
+                c.push(Gate::X, &[q]);
+            }
+            2 => {
+                let q = rng.gen_range(0u32..3);
+                c.push(Gate::Rz(rng.gen_range(-3.0..3.0)), &[q]);
+            }
+            3 => {
+                let q = rng.gen_range(0u32..3);
+                c.push(Gate::Rx(rng.gen_range(-3.0..3.0)), &[q]);
+            }
+            4 => {
+                let q = rng.gen_range(0u32..3);
+                c.push(Gate::Ry(rng.gen_range(-3.0..3.0)), &[q]);
+            }
+            5 => {
+                let q = rng.gen_range(0u32..2);
+                c.push(Gate::Cnot, &[q, q + 1]);
+            }
+            _ => {
+                let q = rng.gen_range(0u32..2);
+                c.push(Gate::Zz(rng.gen_range(-3.0..3.0)), &[q, q + 1]);
+            }
         }
-        c
-    })
+    }
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn optimizer_preserves_unitary(c in arb_circuit()) {
+#[test]
+fn optimizer_preserves_unitary() {
+    let mut rng = seeded(0x41);
+    for _ in 0..CASES {
+        let c = rand_circuit(&mut rng);
         let out = optimize(&c);
-        prop_assert!(
+        assert!(
             c.unitary().phase_invariant_diff(&out.unitary()) < 1e-8,
             "optimize changed the circuit"
         );
     }
+}
 
-    #[test]
-    fn translation_preserves_unitary(c in arb_circuit()) {
+#[test]
+fn translation_preserves_unitary() {
+    let mut rng = seeded(0x42);
+    for _ in 0..CASES {
+        let c = rand_circuit(&mut rng);
         for kind in [BasisKind::Standard, BasisKind::Augmented] {
             let t = to_basis(&c, kind);
-            prop_assert!(
+            assert!(
                 c.unitary().phase_invariant_diff(&t.unitary()) < 1e-8,
                 "{kind:?} translation changed the circuit"
             );
         }
     }
+}
 
-    #[test]
-    fn euler_zxz_round_trips(u in arb_u3()) {
+#[test]
+fn euler_zxz_round_trips() {
+    let mut rng = seeded(0x43);
+    for _ in 0..CASES {
+        let u = rand_u3(&mut rng);
         let (a, theta, c) = euler_zxz(&u);
         let recon = &(&gates::rz(a) * &gates::rx(theta)) * &gates::rz(c);
-        prop_assert!(u.phase_invariant_diff(&recon) < 1e-8);
-        prop_assert!((0.0..=std::f64::consts::PI + 1e-9).contains(&theta));
+        assert!(u.phase_invariant_diff(&recon) < 1e-8);
+        assert!((0.0..=std::f64::consts::PI + 1e-9).contains(&theta));
     }
+}
 
-    #[test]
-    fn weyl_coordinates_local_invariance(
-        l1 in arb_u3(), l2 in arb_u3(), theta in 0.05..1.5f64
-    ) {
+#[test]
+fn weyl_coordinates_local_invariance() {
+    let mut rng = seeded(0x44);
+    for _ in 0..CASES {
+        let l1 = rand_u3(&mut rng);
+        let l2 = rand_u3(&mut rng);
+        let theta = rng.gen_range(0.05..1.5);
         let base = gates::zz(theta);
         let dressed = &l1.kron(&l2) * &base;
         let (a1, a2, a3) = weyl_coordinates(&base);
         let (b1, b2, b3) = weyl_coordinates(&dressed);
-        prop_assert!((a1 - b1).abs() < 1e-5, "{a1} vs {b1}");
-        prop_assert!((a2 - b2).abs() < 1e-5);
-        prop_assert!((a3 - b3).abs() < 1e-5);
+        assert!((a1 - b1).abs() < 1e-5, "{a1} vs {b1}");
+        assert!((a2 - b2).abs() < 1e-5);
+        assert!((a3 - b3).abs() < 1e-5);
     }
+}
 
-    #[test]
-    fn channels_are_trace_preserving(
-        g in 0.0..1.0f64, l in 0.0..1.0f64, p in 0.0..1.0f64
-    ) {
-        prop_assert!(channels::is_trace_preserving(&channels::amplitude_damping(g), 1e-9));
-        prop_assert!(channels::is_trace_preserving(&channels::phase_damping(l), 1e-9));
-        prop_assert!(channels::is_trace_preserving(&channels::depolarizing(p), 1e-9));
-        prop_assert!(channels::is_trace_preserving(&channels::qutrit_relaxation(g, l), 1e-9));
+#[test]
+fn channels_are_trace_preserving() {
+    let mut rng = seeded(0x45);
+    for _ in 0..CASES {
+        let g = rng.gen_range(0.0..1.0);
+        let l = rng.gen_range(0.0..1.0);
+        let p = rng.gen_range(0.0..1.0);
+        assert!(channels::is_trace_preserving(
+            &channels::amplitude_damping(g),
+            1e-9
+        ));
+        assert!(channels::is_trace_preserving(
+            &channels::phase_damping(l),
+            1e-9
+        ));
+        assert!(channels::is_trace_preserving(
+            &channels::depolarizing(p),
+            1e-9
+        ));
+        assert!(channels::is_trace_preserving(
+            &channels::qutrit_relaxation(g, l),
+            1e-9
+        ));
     }
+}
 
-    #[test]
-    fn state_vector_stays_normalized(c in arb_circuit()) {
+#[test]
+fn state_vector_stays_normalized() {
+    let mut rng = seeded(0x46);
+    for _ in 0..CASES {
+        let c = rand_circuit(&mut rng);
         let psi = c.simulate();
         let total: f64 = psi.probabilities().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn hellinger_is_a_metric_sample(
-        raw_p in proptest::collection::vec(0.01..1.0f64, 4),
-        raw_q in proptest::collection::vec(0.01..1.0f64, 4),
-        raw_r in proptest::collection::vec(0.01..1.0f64, 4),
-    ) {
-        let norm = |v: &[f64]| {
+#[test]
+fn hellinger_is_a_metric_sample() {
+    let mut rng = seeded(0x47);
+    for _ in 0..CASES {
+        let draw = |rng: &mut rand::rngs::StdRng| -> Vec<f64> {
+            let v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.01..1.0)).collect();
             let s: f64 = v.iter().sum();
-            v.iter().map(|x| x / s).collect::<Vec<_>>()
+            v.iter().map(|x| x / s).collect()
         };
-        let (p, q, r) = (norm(&raw_p), norm(&raw_q), norm(&raw_r));
+        let p = draw(&mut rng);
+        let q = draw(&mut rng);
+        let r = draw(&mut rng);
         let (pq, qr, pr) = (
             hellinger_distance(&p, &q),
             hellinger_distance(&q, &r),
             hellinger_distance(&p, &r),
         );
-        prop_assert!((0.0..=1.0).contains(&pq));
-        prop_assert!((pq - hellinger_distance(&q, &p)).abs() < 1e-12, "symmetry");
-        prop_assert!(pr <= pq + qr + 1e-12, "triangle inequality");
-        prop_assert!(hellinger_distance(&p, &p) < 1e-12, "identity");
+        assert!((0.0..=1.0).contains(&pq));
+        assert!((pq - hellinger_distance(&q, &p)).abs() < 1e-12, "symmetry");
+        assert!(pr <= pq + qr + 1e-12, "triangle inequality");
+        assert!(hellinger_distance(&p, &p) < 1e-12, "identity");
     }
+}
 
-    #[test]
-    fn hermitian_eigendecomposition_reconstructs(
-        entries in proptest::collection::vec(-1.0..1.0f64, 16)
-    ) {
-        // Build a 4×4 Hermitian matrix from the raw entries.
+#[test]
+fn hermitian_eigendecomposition_reconstructs() {
+    let mut rng = seeded(0x48);
+    for _ in 0..CASES {
+        // Build a 4×4 Hermitian matrix from raw random entries.
         let mut h = CMat::zeros(4, 4);
-        let mut it = entries.into_iter();
         for r in 0..4 {
             for col in r..4 {
-                let re = it.next().unwrap_or(0.0);
+                let re = rng.gen_range(-1.0..1.0);
                 if r == col {
                     h[(r, col)] = C64::real(re);
                 } else {
-                    let im = it.next().unwrap_or(0.0);
+                    let im = rng.gen_range(-1.0..1.0);
                     h[(r, col)] = C64::new(re, im);
                     h[(col, r)] = C64::new(re, -im);
                 }
@@ -142,29 +200,37 @@ proptest! {
         let eig = eigh(&h);
         let lambda: Vec<C64> = eig.values.iter().map(|&v| C64::real(v)).collect();
         let recon = &(&eig.vectors * &CMat::diag(&lambda)) * &eig.vectors.dagger();
-        prop_assert!(recon.max_abs_diff(&h) < 1e-8);
+        assert!(recon.max_abs_diff(&h) < 1e-8);
     }
+}
 
-    #[test]
-    fn qasm_print_parse_round_trips(c in arb_circuit()) {
-        use openpulse_repro::circuit::qasm;
+#[test]
+fn qasm_print_parse_round_trips() {
+    use openpulse_repro::circuit::qasm;
+    let mut rng = seeded(0x49);
+    for _ in 0..CASES {
+        let c = rand_circuit(&mut rng);
         let text = qasm::print(&c);
         let back = qasm::parse(&text).expect("printer output must parse");
-        prop_assert_eq!(c.num_qubits(), back.num_qubits());
-        prop_assert!(
+        assert_eq!(c.num_qubits(), back.num_qubits());
+        assert!(
             c.unitary().phase_invariant_diff(&back.unitary()) < 1e-9,
             "round trip changed the circuit"
         );
     }
+}
 
-    #[test]
-    fn routing_preserves_semantics(c in arb_circuit()) {
-        use openpulse_repro::compiler::{route, CouplingMap};
+#[test]
+fn routing_preserves_semantics() {
+    use openpulse_repro::compiler::{route, CouplingMap};
+    let mut rng = seeded(0x4A);
+    for _ in 0..CASES {
+        let c = rand_circuit(&mut rng);
         let map = CouplingMap::linear(3);
         let routed = route(&c, &map).expect("3-qubit chain is routable");
         for op in routed.circuit.ops() {
             if op.qubits.len() == 2 {
-                prop_assert!(map.adjacent(op.qubits[0], op.qubits[1]));
+                assert!(map.adjacent(op.qubits[0], op.qubits[1]));
             }
         }
         // Compare distributions through the final layout permutation.
@@ -181,16 +247,20 @@ proptest! {
             expect[phys] += p;
         }
         for (a, b) in expect.iter().zip(&got) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn circuit_inverse_composes_to_identity(c in arb_circuit()) {
+#[test]
+fn circuit_inverse_composes_to_identity() {
+    let mut rng = seeded(0x4B);
+    for _ in 0..CASES {
+        let c = rand_circuit(&mut rng);
         let mut full = c.clone();
         full.extend(&c.inverse());
         let mut psi = StateVector::zero_qubits(3);
         full.apply_to(&mut psi);
-        prop_assert!(psi.probabilities()[0] > 1.0 - 1e-9);
+        assert!(psi.probabilities()[0] > 1.0 - 1e-9);
     }
 }
