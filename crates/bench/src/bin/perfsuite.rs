@@ -1,19 +1,25 @@
 //! Performance suite: wall-clock timing of compile+execute workloads.
 //!
 //! ```text
-//! cargo run --release -p repro-bench --bin perfsuite
+//! cargo run --release -p repro-bench --bin perfsuite [-- --smoke]
 //! ```
 //!
 //! Times a figure-4-class single-gate workload, reduced-shot figure-12 and
-//! figure-13 workloads (serial and pooled), the propagator hot loop
-//! (eigendecomposition reference vs the Taylor scratch used by the
-//! integrators), and a θ-sweep with the pulse cache off vs on. Results —
-//! `workload`, `threads`, `wall_ms`, `shots_per_s`, `speedup` (vs the
-//! workload's own baseline row) — are written to `BENCH_1.json`.
+//! figure-13 workloads (serial and pooled), the density-matrix stride
+//! kernels against their embed-based reference on 2–6 qubit registers, the
+//! propagator hot loop (eigendecomposition reference vs the Taylor scratch
+//! used by the integrators), and a θ-sweep with the pulse cache off vs on.
+//! Results — `workload`, `threads`, `wall_ms`, `shots_per_s`, `speedup`
+//! (vs the workload's own baseline row) — are written to `BENCH_2.json`.
 //!
-//! Thread-scaling rows report whatever `OPC_THREADS`/the host provides;
-//! the determinism tests guarantee the numbers themselves are identical
-//! at any thread count.
+//! Pooled workloads are always recorded at 1 thread *and* at a scaling
+//! thread count (≥ 2 even on a single-core host, so the fan-out machinery
+//! is exercised); the determinism tests guarantee the numbers themselves
+//! are identical at any thread count.
+//!
+//! `--smoke` runs every workload at tiny sizes and writes
+//! `BENCH_smoke.json` — a CI-speed check that the suite runs end-to-end
+//! and emits valid JSON, not a measurement.
 
 use pulse_compiler::{CompileMode, Compiler};
 use quant_algos::{molecules, trotter, vqe, LineGraph};
@@ -21,6 +27,7 @@ use quant_char::rb_sequence;
 use quant_circuit::Circuit;
 use quant_device::{PulseExecutor, ShotPool, DT};
 use quant_math::{seeded, unitary_exp, C64, CMat, PropagatorScratch};
+use quant_sim::{channels, gates, DensityMatrix, KernelScratch};
 use repro_bench::{
     compare_flows, json,
     timing::{time_best, time_once},
@@ -28,16 +35,23 @@ use repro_bench::{
 };
 
 struct Entry {
-    workload: &'static str,
+    workload: String,
     threads: usize,
     wall_ms: f64,
     shots_per_s: f64,
     speedup: f64,
 }
 
-fn record(entries: &mut Vec<Entry>, workload: &'static str, threads: usize, wall_ms: f64, shots: usize, baseline_ms: f64) {
+fn record(
+    entries: &mut Vec<Entry>,
+    workload: impl Into<String>,
+    threads: usize,
+    wall_ms: f64,
+    shots: usize,
+    baseline_ms: f64,
+) {
     let entry = Entry {
-        workload,
+        workload: workload.into(),
         threads,
         wall_ms,
         shots_per_s: shots as f64 / (wall_ms / 1e3),
@@ -100,6 +114,47 @@ fn fig13_workload(pool: &ShotPool, shots: usize) -> usize {
     lengths.len() * randomizations * 2 * shots
 }
 
+/// The executor hot loop in miniature: per round, a 1-qubit Kraus channel
+/// on every qubit, a 2-qubit gate on every adjacent pair, and a coalesced
+/// thermal-relaxation channel on every qubit — via the stride kernels or
+/// the embed-based reference. Returns the number of operator applications.
+fn density_kernel_workload(n: usize, reference: bool, rounds: usize) -> usize {
+    let dims = vec![2usize; n];
+    let mut rho = DensityMatrix::zero(&dims);
+    let mut scratch = KernelScratch::new();
+    let gate1 = channels::amplitude_damping(0.003);
+    let gate2 = gates::cnot();
+    let relax = channels::thermal_relaxation_kraus(50e-9, 80e-6, 70e-6);
+    let mut ops = 0usize;
+    for round in 0..rounds {
+        for q in 0..n {
+            if reference {
+                rho.apply_kraus_ref(&gate1, &[q]);
+            } else {
+                rho.apply_kraus_scratch(&gate1, &[q], &mut scratch);
+            }
+        }
+        for q in 0..n - 1 {
+            let pair = if round % 2 == 0 { [q, q + 1] } else { [q + 1, q] };
+            if reference {
+                rho.apply_unitary_ref(&gate2, &pair);
+            } else {
+                rho.apply_unitary_scratch(&gate2, &pair, &mut scratch);
+            }
+        }
+        for q in 0..n {
+            if reference {
+                rho.apply_kraus_ref(&relax, &[q]);
+            } else {
+                rho.apply_kraus_scratch(&relax, &[q], &mut scratch);
+            }
+        }
+        ops += 3 * n - 1;
+    }
+    std::hint::black_box(rho.trace());
+    ops
+}
+
 /// The per-sample propagator hot loop, via the eigendecomposition
 /// reference or the allocation-free Taylor scratch the integrators use.
 fn propagator_workload(taylor: bool, samples: usize) {
@@ -125,10 +180,16 @@ fn propagator_workload(taylor: bool, samples: usize) {
     std::hint::black_box(acc);
 }
 
-/// A 41-point Rx(θ) sweep repeated `repeats` times on precompiled
-/// programs; with the cache on, every pulse after the first sweep is a
-/// lookup instead of an integration.
-fn theta_sweep_workload(setup: &Setup, programs: &[quant_device::LoweredProgram], repeats: usize, cache: bool, shots: usize) -> usize {
+/// An Rx(θ) sweep repeated `repeats` times on precompiled programs; with
+/// the cache on, every pulse after the first sweep is a lookup instead of
+/// an integration.
+fn theta_sweep_workload(
+    setup: &Setup,
+    programs: &[quant_device::LoweredProgram],
+    repeats: usize,
+    cache: bool,
+    shots: usize,
+) -> usize {
     setup.device.set_pulse_cache_enabled(cache);
     setup.device.pulse_cache().invalidate();
     let exec = PulseExecutor::noiseless(&setup.device);
@@ -143,18 +204,30 @@ fn theta_sweep_workload(setup: &Setup, programs: &[quant_device::LoweredProgram]
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let mut entries = Vec::new();
-    let pool = ShotPool::from_env();
+    // The scaling pool is ≥ 2 threads even on a single-core host: the
+    // point of the N-thread row is to exercise (and time) the fan-out
+    // machinery, not to claim a speedup the hardware cannot give.
+    let env_pool = ShotPool::from_env();
+    let pool = if env_pool.threads() > 1 {
+        env_pool
+    } else {
+        ShotPool::new(2)
+    };
     let serial = ShotPool::serial();
     println!(
-        "perfsuite — compile+execute wall clock ({} pool thread(s))\n",
+        "perfsuite{} — compile+execute wall clock (scaling rows at {} thread(s))\n",
+        if smoke { " [smoke]" } else { "" },
         pool.threads()
     );
 
-    // fig04-class.
-    let shots4 = 10_000;
-    let (n, ms) = time_once(|| fig04_workload(&serial, shots4));
-    record(&mut entries, "fig04_compile_execute", 1, ms, n, ms);
+    // fig04-class, serial then pooled.
+    let shots4 = if smoke { 200 } else { 10_000 };
+    let (n, serial_ms) = time_once(|| fig04_workload(&serial, shots4));
+    record(&mut entries, "fig04_compile_execute", 1, serial_ms, n, serial_ms);
+    let (n, ms) = time_once(|| fig04_workload(&pool, shots4));
+    record(&mut entries, "fig04_compile_execute", pool.threads(), ms, n, serial_ms);
 
     // fig12-class, reduced shots, serial then pooled.
     let benchmarks: Vec<(Circuit, usize)> = vec![
@@ -179,55 +252,97 @@ fn main() {
             2,
         ),
     ];
-    let shots12 = 2000;
+    let shots12 = if smoke { 50 } else { 2000 };
     let (n, serial_ms) = time_once(|| fig12_workload(&serial, &benchmarks, shots12));
     record(&mut entries, "fig12_reduced", 1, serial_ms, n, serial_ms);
     let (n, ms) = time_once(|| fig12_workload(&pool, &benchmarks, shots12));
     record(&mut entries, "fig12_reduced", pool.threads(), ms, n, serial_ms);
 
+    // Where fig12 wall-clock actually goes: the three device setups (model
+    // construction + full pulse calibration) alone, with the same seeds as
+    // `fig12_workload`. Calibration integrates thousands of tune-up pulses
+    // and dominates the row above; the state-evolution kernels cannot touch
+    // it, so BENCH_*.json carries the decomposition explicitly.
+    let (n, ms) = time_once(|| {
+        for (i, (_, n)) in benchmarks.iter().enumerate() {
+            std::hint::black_box(Setup::almaden(*n, 1000 + i as u64));
+        }
+        benchmarks.len()
+    });
+    record(&mut entries, "fig12_setup_calibration", 1, ms, n, ms);
+
     // fig13-class, reduced shots, serial then pooled.
-    let shots13 = 2000;
+    let shots13 = if smoke { 50 } else { 2000 };
     let (n, serial_ms) = time_once(|| fig13_workload(&serial, shots13));
     record(&mut entries, "fig13_reduced", 1, serial_ms, n, serial_ms);
     let (n, ms) = time_once(|| fig13_workload(&pool, shots13));
     record(&mut entries, "fig13_reduced", pool.threads(), ms, n, serial_ms);
 
+    // Density-matrix stride kernels vs the embed reference, on growing
+    // registers. Rounds shrink with n so the reference side stays
+    // tractable (its per-op cost grows as the cube of the dimension).
+    for n in 2..=6usize {
+        let rounds = if smoke { 1 } else { 600 >> (2 * (n - 2)).min(9) };
+        let rounds = rounds.max(1);
+        let (ops, ref_ms) = time_best(if smoke { 1 } else { 3 }, || {
+            density_kernel_workload(n, true, rounds)
+        });
+        record(
+            &mut entries,
+            format!("density_n{n}_embed_ref"),
+            1,
+            ref_ms,
+            ops,
+            ref_ms,
+        );
+        let (ops, ms) = time_best(if smoke { 1 } else { 3 }, || {
+            density_kernel_workload(n, false, rounds)
+        });
+        record(&mut entries, format!("density_n{n}_stride"), 1, ms, ops, ref_ms);
+    }
+
     // Propagator hot loop: eigendecomposition reference vs Taylor scratch.
     // Best-of-5 on both sides — single runs swing ~25 % on a shared VM and
     // a single noisy draw would misstate the hot-loop ratio.
-    let samples = 200_000;
-    let (_, eigh_ms) = time_best(5, || propagator_workload(false, samples));
+    let samples = if smoke { 2_000 } else { 200_000 };
+    let best_of = if smoke { 1 } else { 5 };
+    let (_, eigh_ms) = time_best(best_of, || propagator_workload(false, samples));
     record(&mut entries, "propagator_eigh_reference", 1, eigh_ms, samples, eigh_ms);
-    let (_, taylor_ms) = time_best(5, || propagator_workload(true, samples));
+    let (_, taylor_ms) = time_best(best_of, || propagator_workload(true, samples));
     record(&mut entries, "propagator_taylor_scratch", 1, taylor_ms, samples, eigh_ms);
 
     // Pulse cache: repeated θ sweeps, cache off vs on. The 1-qubit
     // DirectRx sweep bounds the cache's win by the non-integration
     // overhead; the 2-qubit Rx(θ)+CNOT sweep is fig12-class — the 9×9
     // echoed-CR integration dominates, so memoizing it is the headline.
-    let shots_sweep = 1000;
+    let shots_sweep = if smoke { 100 } else { 1000 };
+    let points = if smoke { 5 } else { 41 };
     let setup = Setup::almaden(1, 505);
-    let programs: Vec<_> = (1..=41)
+    let programs: Vec<_> = (1..=points)
         .map(|k| {
             let mut c = Circuit::new(1);
-            c.rx(0, k as f64 / 41.0 * std::f64::consts::PI);
+            c.rx(0, k as f64 / points as f64 * std::f64::consts::PI);
             Compiler::new(&setup.device, &setup.calibration, CompileMode::Optimized)
                 .compile(&c)
                 .unwrap()
                 .program
         })
         .collect();
-    let repeats = 12;
-    let (n, off_ms) = time_best(3, || theta_sweep_workload(&setup, &programs, repeats, false, shots_sweep));
+    let repeats = if smoke { 2 } else { 12 };
+    let (n, off_ms) = time_best(if smoke { 1 } else { 3 }, || {
+        theta_sweep_workload(&setup, &programs, repeats, false, shots_sweep)
+    });
     record(&mut entries, "theta_sweep_1q_cache_off", 1, off_ms, n, off_ms);
-    let (n, ms) = time_best(3, || theta_sweep_workload(&setup, &programs, repeats, true, shots_sweep));
+    let (n, ms) = time_best(if smoke { 1 } else { 3 }, || {
+        theta_sweep_workload(&setup, &programs, repeats, true, shots_sweep)
+    });
     record(&mut entries, "theta_sweep_1q_cache_on", 1, ms, n, off_ms);
 
     let setup2 = Setup::almaden(2, 506);
-    let programs2: Vec<_> = (1..=41)
+    let programs2: Vec<_> = (1..=points)
         .map(|k| {
             let mut c = Circuit::new(2);
-            c.rx(0, k as f64 / 41.0 * std::f64::consts::PI);
+            c.rx(0, k as f64 / points as f64 * std::f64::consts::PI);
             c.cnot(0, 1);
             Compiler::new(&setup2.device, &setup2.calibration, CompileMode::Optimized)
                 .compile(&c)
@@ -235,17 +350,21 @@ fn main() {
                 .program
         })
         .collect();
-    let repeats2 = 8;
-    let (n, off_ms) = time_best(2, || theta_sweep_workload(&setup2, &programs2, repeats2, false, shots_sweep));
+    let repeats2 = if smoke { 1 } else { 8 };
+    let (n, off_ms) = time_best(if smoke { 1 } else { 2 }, || {
+        theta_sweep_workload(&setup2, &programs2, repeats2, false, shots_sweep)
+    });
     record(&mut entries, "theta_sweep_2q_cache_off", 1, off_ms, n, off_ms);
-    let (n, ms) = time_best(2, || theta_sweep_workload(&setup2, &programs2, repeats2, true, shots_sweep));
+    let (n, ms) = time_best(if smoke { 1 } else { 2 }, || {
+        theta_sweep_workload(&setup2, &programs2, repeats2, true, shots_sweep)
+    });
     record(&mut entries, "theta_sweep_2q_cache_on", 1, ms, n, off_ms);
 
     let items: Vec<json::Json> = entries
         .iter()
         .map(|e| {
             json::object([
-                ("workload", json::string(e.workload)),
+                ("workload", json::string(&e.workload)),
                 ("threads", json::number(e.threads as f64)),
                 ("wall_ms", json::number(e.wall_ms)),
                 ("shots_per_s", json::number(e.shots_per_s)),
@@ -253,7 +372,7 @@ fn main() {
             ])
         })
         .collect();
-    let path = "BENCH_1.json";
+    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_2.json" };
     match std::fs::write(path, json::array(items).pretty()) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path}: {e}"),

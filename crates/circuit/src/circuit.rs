@@ -2,7 +2,7 @@
 
 use crate::gate::Gate;
 use quant_math::CMat;
-use quant_sim::{embed, StateVector};
+use quant_sim::{KernelScratch, StateVector};
 use std::fmt;
 
 /// One gate application.
@@ -212,10 +212,10 @@ impl Circuit {
     pub fn unitary(&self) -> CMat {
         let dims = vec![2usize; self.num_qubits as usize];
         let mut u = CMat::identity(1 << self.num_qubits);
+        let mut scratch = KernelScratch::new();
         for op in &self.ops {
             let targets: Vec<usize> = op.qubits.iter().map(|&q| q as usize).collect();
-            let full = embed(&op.gate.matrix(), &targets, &dims);
-            u = &full * &u;
+            scratch.apply_left(&mut u, &op.gate.matrix(), &targets, &dims);
         }
         u
     }

@@ -26,8 +26,9 @@ use crate::readout;
 use crate::transmon::DriveState;
 use quant_math::{normal, C64, CMat};
 use quant_pulse::{Channel, Instruction, Schedule};
-use quant_sim::{channels, DensityMatrix};
+use quant_sim::{channels, DensityMatrix, KernelScratch};
 use rand::Rng;
+use std::collections::HashMap;
 
 /// One lowered block: a pulse-schedule fragment implementing one gate.
 #[derive(Clone, Debug)]
@@ -136,11 +137,32 @@ impl ExecOutcome {
     }
 }
 
+/// Per-run evolution context: the stride-kernel scratch shared by every
+/// operator application in the block loop, plus the memo of coalesced
+/// thermal-relaxation channels keyed by `(qubit, duration)`. Programs
+/// repeat a handful of distinct idle/gate durations many times, so after
+/// the first few blocks the hot loop neither allocates nor recomposes
+/// channels.
+struct EvolveCtx {
+    scratch: KernelScratch,
+    relax_memo: HashMap<(u32, u64), Vec<CMat>>,
+}
+
+impl EvolveCtx {
+    fn new() -> Self {
+        EvolveCtx {
+            scratch: KernelScratch::new(),
+            relax_memo: HashMap::new(),
+        }
+    }
+}
+
 /// The executor.
 #[derive(Clone, Debug)]
 pub struct PulseExecutor<'a> {
     device: &'a DeviceModel,
     noisy: bool,
+    reference: bool,
 }
 
 impl<'a> PulseExecutor<'a> {
@@ -149,6 +171,7 @@ impl<'a> PulseExecutor<'a> {
         PulseExecutor {
             device,
             noisy: true,
+            reference: false,
         }
     }
 
@@ -158,7 +181,17 @@ impl<'a> PulseExecutor<'a> {
         PulseExecutor {
             device,
             noisy: false,
+            reference: false,
         }
+    }
+
+    /// Switches density-matrix evolution to the embed-based reference
+    /// route with per-stage (uncoalesced) relaxation — float-for-float the
+    /// pre-kernel implementation. Slow; exists so tests can assert the
+    /// fast path reproduces identical sampled counts.
+    pub fn with_reference_path(mut self) -> Self {
+        self.reference = true;
+        self
     }
 
     /// Runs a lowered program and returns the outcome distribution.
@@ -166,6 +199,7 @@ impl<'a> PulseExecutor<'a> {
         let n = program.num_qubits as usize;
         assert!(n >= 1 && n <= self.device.num_qubits());
         let mut rho = DensityMatrix::zero_qubits(n);
+        let mut ctx = EvolveCtx::new();
         // Thermal SPAM: imperfect reset leaves residual |1⟩ population that
         // readout mitigation (a measurement-side correction) cannot remove.
         let p_reset = self.device.reset_excited_prob();
@@ -175,7 +209,7 @@ impl<'a> PulseExecutor<'a> {
                 quant_sim::gates::x().scale(C64::real(p_reset.sqrt())),
             ];
             for q in 0..n {
-                rho.apply_kraus(&flip, &[q]);
+                self.apply_kraus_ctx(&mut rho, &flip, &[q], &mut ctx);
             }
         }
         let mut cursor = vec![0u64; n];
@@ -184,7 +218,7 @@ impl<'a> PulseExecutor<'a> {
             match block {
                 Block::Idle { qubit, duration } => {
                     if self.noisy {
-                        self.relax(&mut rho, *qubit, *duration);
+                        self.relax(&mut rho, *qubit, *duration, &mut ctx);
                     }
                     cursor[*qubit as usize] += duration;
                 }
@@ -204,10 +238,10 @@ impl<'a> PulseExecutor<'a> {
                                 transmon.integrate_play(&mut state, &w)
                             });
                         let kraus = qubit_block_kraus(&u3x3);
-                        rho.apply_kraus(&kraus, &[q]);
+                        self.apply_kraus_ctx(&mut rho, &kraus, &[q], &mut ctx);
                         let dur = w.duration();
                         if self.noisy {
-                            self.relax(&mut rho, *qubit, dur);
+                            self.relax(&mut rho, *qubit, dur, &mut ctx);
                         }
                         cursor[q] += dur;
                     }
@@ -224,7 +258,7 @@ impl<'a> PulseExecutor<'a> {
                     for &q in &[*control, *target] {
                         let idle = start - cursor[q as usize];
                         if idle > 0 && self.noisy {
-                            self.relax(&mut rho, q, idle);
+                            self.relax(&mut rho, q, idle, &mut ctx);
                         }
                         cursor[q as usize] = start;
                     }
@@ -267,11 +301,16 @@ impl<'a> PulseExecutor<'a> {
                     // computational-basis measurement cannot see. The qubit
                     // block is slightly sub-unitary (|2⟩ leakage); complete
                     // it to a CPTP channel.
-                    rho.apply_kraus(&contraction_kraus(&unitary), &[c, t]);
+                    self.apply_kraus_ctx(
+                        &mut rho,
+                        &contraction_kraus(&unitary),
+                        &[c, t],
+                        &mut ctx,
+                    );
                     let dur = schedule.duration();
                     if self.noisy {
-                        self.relax(&mut rho, *control, dur);
-                        self.relax(&mut rho, *target, dur);
+                        self.relax(&mut rho, *control, dur, &mut ctx);
+                        self.relax(&mut rho, *target, dur, &mut ctx);
                     }
                     cursor[c] += dur;
                     cursor[t] += dur;
@@ -286,7 +325,7 @@ impl<'a> PulseExecutor<'a> {
             for q in 0..n as u32 {
                 let idle = end - cursor[q as usize];
                 if idle > 0 {
-                    self.relax(&mut rho, q, idle);
+                    self.relax(&mut rho, q, idle, &mut ctx);
                 }
             }
         }
@@ -318,10 +357,11 @@ impl<'a> PulseExecutor<'a> {
         let transmon = self.device.transmon_exec(0);
         let p = *transmon.params();
         let mut rho = DensityMatrix::zero(&[3]);
+        let mut scratch = KernelScratch::new();
         let mut state = DriveState::default();
         let mut cursor = 0u64;
 
-        let relax3 = |rho: &mut DensityMatrix, samples: u64| {
+        let relax3 = |rho: &mut DensityMatrix, samples: u64, scratch: &mut KernelScratch| {
             if !self.noisy || samples == 0 {
                 return;
             }
@@ -329,10 +369,10 @@ impl<'a> PulseExecutor<'a> {
             // |2⟩ relaxes roughly twice as fast as |1⟩ in a transmon.
             let g10 = 1.0 - (-t / p.t1).exp();
             let g21 = 1.0 - (-t / (p.t1 / 2.0)).exp();
-            rho.apply_kraus(&channels::qutrit_relaxation(g10, g21), &[0]);
+            rho.apply_kraus_scratch(&channels::qutrit_relaxation(g10, g21), &[0], scratch);
             let inv_tphi = (1.0 / p.t2 - 1.0 / (2.0 * p.t1)).max(0.0);
             let lambda = 1.0 - (-2.0 * t * inv_tphi).exp();
-            rho.apply_kraus(&channels::qutrit_dephasing(lambda), &[0]);
+            rho.apply_kraus_scratch(&channels::qutrit_dephasing(lambda), &[0], scratch);
         };
 
         for ti in schedule.instructions() {
@@ -341,7 +381,7 @@ impl<'a> PulseExecutor<'a> {
             }
             if ti.start > cursor {
                 transmon.advance_idle(&mut state, ti.start - cursor);
-                relax3(&mut rho, ti.start - cursor);
+                relax3(&mut rho, ti.start - cursor, &mut scratch);
                 cursor = ti.start;
             }
             if transmon.apply_frame_instruction(&mut state, &ti.instruction) {
@@ -350,7 +390,7 @@ impl<'a> PulseExecutor<'a> {
             match &ti.instruction {
                 Instruction::Delay { duration, .. } => {
                     transmon.advance_idle(&mut state, *duration);
-                    relax3(&mut rho, *duration);
+                    relax3(&mut rho, *duration, &mut scratch);
                     cursor += duration;
                 }
                 Instruction::Acquire { duration, .. } => {
@@ -359,8 +399,8 @@ impl<'a> PulseExecutor<'a> {
                 Instruction::Play { waveform, .. } => {
                     let w = self.jittered(waveform, rng);
                     let u = transmon.integrate_play(&mut state, &w);
-                    rho.apply_unitary(&u, &[0]);
-                    relax3(&mut rho, w.duration());
+                    rho.apply_unitary_scratch(&u, &[0], &mut scratch);
+                    relax3(&mut rho, w.duration(), &mut scratch);
                     cursor += w.duration();
                 }
                 _ => unreachable!(),
@@ -389,13 +429,43 @@ impl<'a> PulseExecutor<'a> {
         w.scaled((1.0 + xi / peak).clamp(0.0, 1.0 / peak))
     }
 
+    /// Applies a Kraus channel via the stride kernel and the shared
+    /// scratch, or via the embed reference when the reference path is on.
+    fn apply_kraus_ctx(
+        &self,
+        rho: &mut DensityMatrix,
+        kraus: &[CMat],
+        targets: &[usize],
+        ctx: &mut EvolveCtx,
+    ) {
+        if self.reference {
+            rho.apply_kraus_ref(kraus, targets);
+        } else {
+            rho.apply_kraus_scratch(kraus, targets, &mut ctx.scratch);
+        }
+    }
+
     /// Thermal relaxation on one qubit for `samples` of wall-clock time.
-    fn relax(&self, rho: &mut DensityMatrix, qubit: u32, samples: u64) {
+    ///
+    /// Fast path: the T1/T2 stages are composed into one Kraus channel and
+    /// memoized per `(qubit, duration)` — programs reuse a handful of
+    /// distinct durations, so composition happens once per distinct pair.
+    /// Reference path: one `apply_kraus_ref` per stage, float-identical to
+    /// the pre-kernel implementation.
+    fn relax(&self, rho: &mut DensityMatrix, qubit: u32, samples: u64, ctx: &mut EvolveCtx) {
         let p = self.device.qubit(qubit);
         let t = samples as f64 * DT;
-        for stage in channels::thermal_relaxation(t, p.t1, p.t2) {
-            rho.apply_kraus(&stage, &[qubit as usize]);
+        if self.reference {
+            for stage in channels::thermal_relaxation(t, p.t1, p.t2) {
+                rho.apply_kraus_ref(&stage, &[qubit as usize]);
+            }
+            return;
         }
+        let EvolveCtx { scratch, relax_memo } = ctx;
+        let kraus = relax_memo
+            .entry((qubit, samples))
+            .or_insert_with(|| channels::thermal_relaxation_kraus(t, p.t1, p.t2));
+        rho.apply_kraus_scratch(kraus, &[qubit as usize], scratch);
     }
 }
 

@@ -167,3 +167,66 @@ fn cache_hits_repeated_noiseless_runs_and_drift_invalidates() {
         "drift should perturb the outcome distribution"
     );
 }
+
+#[test]
+fn kernel_path_reproduces_reference_counts_bit_identically() {
+    // The stride kernels and the coalesced relaxation reassociate float
+    // arithmetic, so probabilities may differ from the embed route at the
+    // ulp level — but the sampled counts (categorical draws at a fixed
+    // seed) must be bit-identical, and the distributions must agree to
+    // simulation accuracy.
+    let mut rng = seeded(23);
+    let device = DeviceModel::almaden_like(2, &mut rng);
+    let program = bell_ish_program(&device);
+
+    let fast = PulseExecutor::new(&device).run(&program, &mut seeded(55));
+    let slow = PulseExecutor::new(&device)
+        .with_reference_path()
+        .run(&program, &mut seeded(55));
+
+    for (a, b) in fast.probabilities.iter().zip(&slow.probabilities) {
+        assert!((a - b).abs() < 1e-12, "kernel path drifted: {a} vs {b}");
+    }
+    let seed = 0xFEED;
+    let shots = 20_000;
+    assert_eq!(
+        fast.sample_counts_deterministic(seed, shots),
+        slow.sample_counts_deterministic(seed, shots),
+        "kernel swap changed the sampled counts"
+    );
+    // The parallel pool agrees with both.
+    assert_eq!(
+        ShotPool::new(4).sample_counts(&fast.probabilities, shots, seed),
+        slow.sample_counts_deterministic(seed, shots),
+    );
+}
+
+#[test]
+fn kernel_path_matches_reference_with_idles() {
+    // Idle-heavy program: exercises the memoized coalesced relaxation on
+    // repeated (qubit, duration) pairs against the per-stage reference.
+    let mut rng = seeded(29);
+    let device = DeviceModel::almaden_like(2, &mut rng);
+    let mut program = bell_ish_program(&device);
+    for _ in 0..3 {
+        program.blocks.push(Block::Idle {
+            qubit: 0,
+            duration: 4_800,
+        });
+        program.blocks.push(Block::Idle {
+            qubit: 1,
+            duration: 4_800,
+        });
+    }
+    let fast = PulseExecutor::new(&device).run(&program, &mut seeded(61));
+    let slow = PulseExecutor::new(&device)
+        .with_reference_path()
+        .run(&program, &mut seeded(61));
+    for (a, b) in fast.probabilities.iter().zip(&slow.probabilities) {
+        assert!((a - b).abs() < 1e-12, "relax coalescing drifted: {a} vs {b}");
+    }
+    assert_eq!(
+        fast.sample_counts_deterministic(0xC0DE, 10_000),
+        slow.sample_counts_deterministic(0xC0DE, 10_000),
+    );
+}

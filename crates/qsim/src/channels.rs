@@ -76,6 +76,36 @@ pub fn thermal_relaxation(t: f64, t1: f64, t2: f64) -> Vec<Vec<CMat>> {
     vec![amplitude_damping(gamma), phase_damping(lambda)]
 }
 
+/// Composes sequential Kraus channels into one equivalent channel:
+/// applying `stages[0]` then `stages[1]` … equals applying the returned
+/// set once (`K = Kₙ···K₁` over every stage-operator choice). Products
+/// that are exactly zero carry no weight and are dropped.
+pub fn compose(stages: &[Vec<CMat>]) -> Vec<CMat> {
+    assert!(!stages.is_empty(), "need at least one stage");
+    let mut acc = stages[0].clone();
+    for stage in &stages[1..] {
+        let mut next = Vec::with_capacity(acc.len() * stage.len());
+        for later in stage {
+            for earlier in &acc {
+                let product = later * earlier;
+                if product.as_slice().iter().any(|z| *z != C64::ZERO) {
+                    next.push(product);
+                }
+            }
+        }
+        assert!(!next.is_empty(), "composed channel lost all weight");
+        acc = next;
+    }
+    acc
+}
+
+/// [`thermal_relaxation`] composed into a single Kraus set — one channel
+/// application per (qubit, duration) instead of one per stage. The hot
+/// executor path memoizes this per distinct duration.
+pub fn thermal_relaxation_kraus(t: f64, t1: f64, t2: f64) -> Vec<CMat> {
+    compose(&thermal_relaxation(t, t1, t2))
+}
+
 /// A purely coherent error channel: the single Kraus operator `U`.
 pub fn coherent(u: CMat) -> Vec<CMat> {
     debug_assert!(u.is_unitary(1e-8), "coherent error must be unitary");
@@ -180,6 +210,35 @@ mod tests {
     #[should_panic(expected = "unphysical")]
     fn rejects_t2_beyond_twice_t1() {
         thermal_relaxation(1.0, 10.0, 25.0);
+    }
+
+    #[test]
+    fn composed_thermal_relaxation_matches_stages() {
+        use crate::DensityMatrix;
+        use crate::gates;
+        let (t, t1, t2) = (37.0, 94_000.0, 71_000.0);
+        let composed = thermal_relaxation_kraus(t, t1, t2);
+        assert!(is_trace_preserving(&composed, 1e-10));
+        // Same state through per-stage and composed application.
+        let mut staged = DensityMatrix::zero_qubits(2);
+        staged.apply_unitary(&gates::h(), &[0]);
+        staged.apply_unitary(&gates::cnot(), &[0, 1]);
+        let mut one_shot = staged.clone();
+        for stage in thermal_relaxation(t, t1, t2) {
+            staged.apply_kraus(&stage, &[1]);
+        }
+        one_shot.apply_kraus(&composed, &[1]);
+        assert!(staged.matrix().max_abs_diff(one_shot.matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn compose_drops_zero_products() {
+        // t = 0 amplitude damping has an all-zero K1; the composition of
+        // two identity-like stages must not keep 2×2 = 4 operators.
+        let stages = thermal_relaxation(0.0, 100.0, 80.0);
+        let composed = compose(&stages);
+        assert_eq!(composed.len(), 1, "zero-weight products must be dropped");
+        assert!(composed[0].max_abs_diff(&CMat::identity(2)) < 1e-12);
     }
 
     #[test]

@@ -8,9 +8,27 @@
 //!
 //! Index conventions match [`crate::state`].
 
+use crate::kernels::KernelScratch;
 use crate::state::StateVector;
 use quant_math::{C64, CMat};
 use rand::Rng;
+
+/// Debug-build check of the Kraus completeness relation `Σ Kₖ†Kₖ = I`.
+fn debug_assert_kraus_complete(kraus: &[CMat]) {
+    #[cfg(debug_assertions)]
+    {
+        let mut completeness = CMat::zeros(kraus[0].rows(), kraus[0].cols());
+        for k in kraus {
+            completeness = &completeness + &(&k.dagger() * k);
+        }
+        debug_assert!(
+            completeness.max_abs_diff(&CMat::identity(kraus[0].rows())) < 1e-6,
+            "Kraus operators do not satisfy the completeness relation"
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = kraus;
+}
 
 /// A density matrix over a mixed-dimension qudit register.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,16 +39,27 @@ pub struct DensityMatrix {
 
 /// Lifts an operator acting on `targets` (with target 0 as the gate's
 /// least-significant digit) to the full register space.
+///
+/// This is the *reference* route: the stride kernels in [`crate::kernels`]
+/// apply operators without ever materializing the lifted matrix and are
+/// cross-checked against it. `embed` remains for call sites that genuinely
+/// need the full matrix (commutation probes, small algebraic checks).
 pub fn embed(op: &CMat, targets: &[usize], dims: &[usize]) -> CMat {
-    let total: usize = dims.iter().product();
     let gate_dim: usize = targets.iter().map(|&t| dims[t]).product();
     assert!(op.is_square() && op.rows() == gate_dim, "operator dim mismatch");
     for (i, &t) in targets.iter().enumerate() {
         assert!(t < dims.len(), "target {t} out of range");
         assert!(!targets[..i].contains(&t), "duplicate target {t}");
     }
-    let stride = |k: usize| -> usize { dims[..k].iter().product() };
-    let digit = |idx: usize, k: usize| -> usize { (idx / stride(k)) % dims[k] };
+    // Stride table once, not a prefix product per digit of every entry.
+    let mut strides = Vec::with_capacity(dims.len());
+    let mut total = 1usize;
+    for &d in dims {
+        strides.push(total);
+        total *= d;
+    }
+    let rest: Vec<usize> = (0..dims.len()).filter(|k| !targets.contains(k)).collect();
+    let digit = |idx: usize, k: usize| -> usize { (idx / strides[k]) % dims[k] };
     let gate_index = |idx: usize| -> usize {
         let mut g = 0usize;
         let mut weight = 1usize;
@@ -40,13 +69,8 @@ pub fn embed(op: &CMat, targets: &[usize], dims: &[usize]) -> CMat {
         }
         g
     };
-    let rest_matches = |i: usize, j: usize| -> bool {
-        (0..dims.len())
-            .filter(|k| !targets.contains(k))
-            .all(|k| digit(i, k) == digit(j, k))
-    };
     CMat::from_fn(total, total, |i, j| {
-        if rest_matches(i, j) {
+        if rest.iter().all(|&k| digit(i, k) == digit(j, k)) {
             op[(gate_index(i), gate_index(j))]
         } else {
             C64::ZERO
@@ -92,7 +116,30 @@ impl DensityMatrix {
     }
 
     /// Applies a unitary to the listed targets: `ρ → UρU†`.
+    ///
+    /// Runs the in-place stride kernel with a call-local scratch; when the
+    /// call sits in a hot loop, thread a shared [`KernelScratch`] through
+    /// [`DensityMatrix::apply_unitary_scratch`] instead.
     pub fn apply_unitary(&mut self, u: &CMat, targets: &[usize]) {
+        let mut scratch = KernelScratch::new();
+        self.apply_unitary_scratch(u, targets, &mut scratch);
+    }
+
+    /// [`DensityMatrix::apply_unitary`] with a caller-owned scratch:
+    /// allocation-free once the scratch has seen this `(targets, dims)`
+    /// pair.
+    pub fn apply_unitary_scratch(
+        &mut self,
+        u: &CMat,
+        targets: &[usize],
+        scratch: &mut KernelScratch,
+    ) {
+        scratch.apply_conjugate(&mut self.rho, u, targets, &self.dims);
+    }
+
+    /// Reference implementation of [`DensityMatrix::apply_unitary`] via
+    /// [`embed`] and dense products. Kept for kernel cross-checks.
+    pub fn apply_unitary_ref(&mut self, u: &CMat, targets: &[usize]) {
         let full = embed(u, targets, &self.dims);
         self.rho = &(&full * &self.rho) * &full.dagger();
     }
@@ -100,16 +147,33 @@ impl DensityMatrix {
     /// Applies a Kraus channel `ρ → Σₖ KₖρKₖ†` to the listed targets.
     ///
     /// The Kraus operators must satisfy `Σ Kₖ†Kₖ = I` (checked loosely).
+    /// Runs the single-pass superoperator kernel with a call-local
+    /// scratch; hot loops should use
+    /// [`DensityMatrix::apply_kraus_scratch`].
     pub fn apply_kraus(&mut self, kraus: &[CMat], targets: &[usize]) {
+        let mut scratch = KernelScratch::new();
+        self.apply_kraus_scratch(kraus, targets, &mut scratch);
+    }
+
+    /// [`DensityMatrix::apply_kraus`] with a caller-owned scratch:
+    /// allocation-free once the scratch has seen this `(targets, dims)`
+    /// pair.
+    pub fn apply_kraus_scratch(
+        &mut self,
+        kraus: &[CMat],
+        targets: &[usize],
+        scratch: &mut KernelScratch,
+    ) {
         assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
-        let mut completeness = CMat::zeros(kraus[0].rows(), kraus[0].cols());
-        for k in kraus {
-            completeness = &completeness + &(&k.dagger() * k);
-        }
-        debug_assert!(
-            completeness.max_abs_diff(&CMat::identity(kraus[0].rows())) < 1e-6,
-            "Kraus operators do not satisfy the completeness relation"
-        );
+        debug_assert_kraus_complete(kraus);
+        scratch.apply_kraus(&mut self.rho, kraus, targets, &self.dims);
+    }
+
+    /// Reference implementation of [`DensityMatrix::apply_kraus`] via
+    /// [`embed`] and dense products. Kept for kernel cross-checks.
+    pub fn apply_kraus_ref(&mut self, kraus: &[CMat], targets: &[usize]) {
+        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        debug_assert_kraus_complete(kraus);
         let mut out = CMat::zeros(self.rho.rows(), self.rho.cols());
         for k in kraus {
             let full = embed(k, targets, &self.dims);
@@ -143,6 +207,23 @@ impl DensityMatrix {
 
     /// ⟨O⟩ = Tr(ρO) for a Hermitian operator on the listed targets.
     pub fn expectation(&self, op: &CMat, targets: &[usize]) -> f64 {
+        let mut scratch = KernelScratch::new();
+        self.expectation_scratch(op, targets, &mut scratch)
+    }
+
+    /// [`DensityMatrix::expectation`] with a caller-owned scratch.
+    pub fn expectation_scratch(
+        &self,
+        op: &CMat,
+        targets: &[usize],
+        scratch: &mut KernelScratch,
+    ) -> f64 {
+        scratch.expectation(&self.rho, op, targets, &self.dims).re
+    }
+
+    /// Reference implementation of [`DensityMatrix::expectation`] via
+    /// [`embed`] and a dense trace. Kept for kernel cross-checks.
+    pub fn expectation_ref(&self, op: &CMat, targets: &[usize]) -> f64 {
         let full = embed(op, targets, &self.dims);
         (&self.rho * &full).trace().re
     }

@@ -1,0 +1,402 @@
+//! In-place, allocation-free, stride-based superoperator kernels.
+//!
+//! [`crate::embed`] lifts a k-dimensional operator to the full register
+//! space and pays two dense O(d³) products per application. These kernels
+//! act on the target subsystem's rows and columns directly with the same
+//! digit/stride arithmetic [`crate::StateVector::apply_unitary`] uses, so a
+//! k-dim gate on a d-dim register costs O(d²·k) (unitary conjugation) or
+//! O(d²·k²) (Kraus channel via the channel superoperator) — an asymptotic
+//! win over embed-and-matmul that grows with qubit count.
+//!
+//! [`KernelScratch`] owns every buffer the kernels need (gather rows,
+//! block vectors, the channel superoperator, and a cache of
+//! [`TargetIndex`] tables keyed by `(targets, dims)`). Reusing one scratch
+//! across calls makes the steady state allocation-free: the executor
+//! threads a single scratch through its whole per-block loop.
+//!
+//! `embed` remains the reference implementation; the kernels are
+//! cross-checked against it property-test-style in
+//! `tests/kernel_equivalence.rs`.
+
+use quant_math::{C64, CMat};
+
+/// Precomputed index tables for one `(targets, dims)` pair.
+///
+/// * `offsets[g]` — global index offset of gate-basis state `g` (target 0
+///   is the gate's least-significant digit, as everywhere in this crate);
+/// * `bases` — every global index whose target digits are all zero; adding
+///   `offsets[g]` to a base enumerates one gate-subspace fibre.
+#[derive(Clone, Debug)]
+pub struct TargetIndex {
+    gate_dim: usize,
+    total: usize,
+    offsets: Vec<usize>,
+    bases: Vec<usize>,
+}
+
+impl TargetIndex {
+    /// Builds the index tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics when targets repeat or are out of range.
+    pub fn new(targets: &[usize], dims: &[usize]) -> Self {
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < dims.len(), "target {t} out of range");
+            assert!(!targets[..i].contains(&t), "duplicate target {t}");
+        }
+        let mut strides = Vec::with_capacity(dims.len());
+        let mut total = 1usize;
+        for &d in dims {
+            strides.push(total);
+            total *= d;
+        }
+        let gate_dim: usize = targets.iter().map(|&t| dims[t]).product();
+
+        let mut offsets = vec![0usize; gate_dim];
+        for (g, off) in offsets.iter_mut().enumerate() {
+            let mut rem = g;
+            let mut o = 0usize;
+            for &t in targets {
+                o += (rem % dims[t]) * strides[t];
+                rem /= dims[t];
+            }
+            *off = o;
+        }
+
+        let mut bases = Vec::with_capacity(total / gate_dim.max(1));
+        'outer: for idx in 0..total {
+            for &t in targets {
+                if (idx / strides[t]) % dims[t] != 0 {
+                    continue 'outer;
+                }
+            }
+            bases.push(idx);
+        }
+
+        TargetIndex {
+            gate_dim,
+            total,
+            offsets,
+            bases,
+        }
+    }
+
+    /// The operator dimension these targets select.
+    pub fn gate_dim(&self) -> usize {
+        self.gate_dim
+    }
+}
+
+/// One cached index table.
+#[derive(Clone, Debug)]
+struct IndexEntry {
+    targets: Vec<usize>,
+    dims: Vec<usize>,
+    index: TargetIndex,
+}
+
+/// Reusable workspace for the stride kernels.
+///
+/// Buffers grow on demand and are never shrunk, so after the first
+/// occurrence of each `(targets, dims)` pair every subsequent kernel call
+/// performs zero heap allocations. Not thread-safe; use one per worker.
+#[derive(Clone, Debug, Default)]
+pub struct KernelScratch {
+    indices: Vec<IndexEntry>,
+    rows: Vec<C64>,
+    block: Vec<C64>,
+    block_out: Vec<C64>,
+    superop: Vec<C64>,
+}
+
+impl KernelScratch {
+    /// An empty scratch; buffers are sized lazily by the first calls.
+    pub fn new() -> Self {
+        KernelScratch::default()
+    }
+
+    /// Index-table cache position for `(targets, dims)`, building on miss.
+    fn ensure_index(&mut self, targets: &[usize], dims: &[usize]) -> usize {
+        if let Some(i) = self
+            .indices
+            .iter()
+            .position(|e| e.targets == targets && e.dims == dims)
+        {
+            return i;
+        }
+        self.indices.push(IndexEntry {
+            targets: targets.to_vec(),
+            dims: dims.to_vec(),
+            index: TargetIndex::new(targets, dims),
+        });
+        self.indices.len() - 1
+    }
+
+    /// `mat ← Û·mat` where `Û` is `op` embedded on `targets`: transforms
+    /// the target digits of the *row* index. `mat` may have any number of
+    /// columns (a density matrix, an accumulating circuit unitary, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics on target/dimension mismatches.
+    pub fn apply_left(&mut self, mat: &mut CMat, op: &CMat, targets: &[usize], dims: &[usize]) {
+        let i = self.ensure_index(targets, dims);
+        let idx = &self.indices[i].index;
+        check_op(op, idx);
+        assert_eq!(mat.rows(), idx.total, "matrix height mismatch");
+        apply_left_rows(mat, op, idx, &mut self.rows);
+    }
+
+    /// `mat ← mat·Û†`: transforms the target digits of the *column* index.
+    pub fn apply_right_dagger(
+        &mut self,
+        mat: &mut CMat,
+        op: &CMat,
+        targets: &[usize],
+        dims: &[usize],
+    ) {
+        let i = self.ensure_index(targets, dims);
+        let idx = &self.indices[i].index;
+        check_op(op, idx);
+        assert_eq!(mat.cols(), idx.total, "matrix width mismatch");
+        apply_right_dagger_rows(mat, op, idx, &mut self.block);
+    }
+
+    /// `ρ ← Û·ρ·Û†` — the unitary-conjugation kernel, O(d²·k).
+    pub fn apply_conjugate(&mut self, rho: &mut CMat, op: &CMat, targets: &[usize], dims: &[usize]) {
+        let i = self.ensure_index(targets, dims);
+        let idx = &self.indices[i].index;
+        check_op(op, idx);
+        assert_eq!(rho.rows(), idx.total, "matrix height mismatch");
+        assert_eq!(rho.cols(), idx.total, "matrix width mismatch");
+        apply_left_rows(rho, op, idx, &mut self.rows);
+        apply_right_dagger_rows(rho, op, idx, &mut self.block);
+    }
+
+    /// `ρ ← Σₖ K̂ₖ·ρ·K̂ₖ†` — the channel kernel, O(d²·k²), single pass.
+    ///
+    /// Builds the k²×k² channel superoperator `S[(g,h),(g',h')] =
+    /// Σₖ Kₖ[g,g']·conj(Kₖ[h,h'])` once, then applies it to every k×k
+    /// block of ρ selected by a (row-base, column-base) pair.
+    pub fn apply_kraus(
+        &mut self,
+        rho: &mut CMat,
+        kraus: &[CMat],
+        targets: &[usize],
+        dims: &[usize],
+    ) {
+        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        let i = self.ensure_index(targets, dims);
+        let idx = &self.indices[i].index;
+        for op in kraus {
+            check_op(op, idx);
+        }
+        assert_eq!(rho.rows(), idx.total, "matrix height mismatch");
+        assert_eq!(rho.cols(), idx.total, "matrix width mismatch");
+
+        let k = idx.gate_dim;
+        let k2 = k * k;
+        self.superop.resize(k2 * k2, C64::ZERO);
+        self.superop.fill(C64::ZERO);
+        for kr in kraus {
+            for g in 0..k {
+                for gp in 0..k {
+                    let a = kr[(g, gp)];
+                    if a == C64::ZERO {
+                        continue;
+                    }
+                    for h in 0..k {
+                        let row = &mut self.superop[(g * k + h) * k2..][..k2];
+                        for hp in 0..k {
+                            row[gp * k + hp] += a * kr[(h, hp)].conj();
+                        }
+                    }
+                }
+            }
+        }
+
+        self.block.resize(k2, C64::ZERO);
+        self.block_out.resize(k2, C64::ZERO);
+        let cols = rho.cols();
+        let data = rho.as_mut_slice();
+        for &rb in &idx.bases {
+            for &cb in &idx.bases {
+                for (g, &go) in idx.offsets.iter().enumerate() {
+                    let row = &data[(rb + go) * cols..];
+                    for (h, &ho) in idx.offsets.iter().enumerate() {
+                        self.block[g * k + h] = row[cb + ho];
+                    }
+                }
+                for (a, out) in self.block_out.iter_mut().enumerate() {
+                    let srow = &self.superop[a * k2..][..k2];
+                    let mut acc = C64::ZERO;
+                    for (&s, &v) in srow.iter().zip(&self.block) {
+                        if s == C64::ZERO {
+                            continue;
+                        }
+                        acc += s * v;
+                    }
+                    *out = acc;
+                }
+                for (g, &go) in idx.offsets.iter().enumerate() {
+                    let row = &mut data[(rb + go) * cols..];
+                    for (h, &ho) in idx.offsets.iter().enumerate() {
+                        row[cb + ho] = self.block_out[g * k + h];
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Tr(ρ·Ô)` where `Ô` is `op` embedded on `targets` — O(d·k).
+    pub fn expectation(
+        &mut self,
+        rho: &CMat,
+        op: &CMat,
+        targets: &[usize],
+        dims: &[usize],
+    ) -> C64 {
+        let i = self.ensure_index(targets, dims);
+        let idx = &self.indices[i].index;
+        check_op(op, idx);
+        assert_eq!(rho.rows(), idx.total, "matrix height mismatch");
+        let cols = rho.cols();
+        let data = rho.as_slice();
+        let mut acc = C64::ZERO;
+        for &base in &idx.bases {
+            for (g, &go) in idx.offsets.iter().enumerate() {
+                for (h, &ho) in idx.offsets.iter().enumerate() {
+                    let o = op[(g, h)];
+                    if o == C64::ZERO {
+                        continue;
+                    }
+                    acc += data[(base + ho) * cols + base + go] * o;
+                }
+            }
+        }
+        acc
+    }
+}
+
+fn check_op(op: &CMat, idx: &TargetIndex) {
+    assert!(
+        op.is_square() && op.rows() == idx.gate_dim,
+        "operator dim mismatch"
+    );
+}
+
+/// Row pass: for every base, gathers the k target rows into `rows` and
+/// overwrites them with the operator-mixed combinations (AXPY over whole
+/// rows, so the inner loop is contiguous and vectorizes).
+fn apply_left_rows(mat: &mut CMat, op: &CMat, idx: &TargetIndex, rows: &mut Vec<C64>) {
+    let k = idx.gate_dim;
+    let cols = mat.cols();
+    rows.resize(k * cols, C64::ZERO);
+    let data = mat.as_mut_slice();
+    for &base in &idx.bases {
+        for (g, &off) in idx.offsets.iter().enumerate() {
+            let src = &data[(base + off) * cols..][..cols];
+            rows[g * cols..(g + 1) * cols].copy_from_slice(src);
+        }
+        for (g, &off) in idx.offsets.iter().enumerate() {
+            let dst = &mut data[(base + off) * cols..][..cols];
+            dst.fill(C64::ZERO);
+            for (h, src) in rows.chunks_exact(cols).enumerate() {
+                let coeff = op[(g, h)];
+                if coeff == C64::ZERO {
+                    continue;
+                }
+                for (o, &s) in dst.iter_mut().zip(src) {
+                    *o += coeff * s;
+                }
+            }
+        }
+    }
+}
+
+/// Column pass: within each row, gathers the k target entries of every
+/// column fibre and overwrites them with `Σ_h entry_h·conj(op[g,h])` —
+/// right multiplication by the embedded `op†`.
+fn apply_right_dagger_rows(mat: &mut CMat, op: &CMat, idx: &TargetIndex, gather: &mut Vec<C64>) {
+    let k = idx.gate_dim;
+    let cols = mat.cols();
+    gather.resize(k, C64::ZERO);
+    for row in mat.as_mut_slice().chunks_exact_mut(cols) {
+        for &base in &idx.bases {
+            for (slot, &off) in gather.iter_mut().zip(&idx.offsets) {
+                *slot = row[base + off];
+            }
+            for (g, &off) in idx.offsets.iter().enumerate() {
+                let mut acc = C64::ZERO;
+                for (h, &v) in gather.iter().enumerate() {
+                    let coeff = op[(g, h)];
+                    if coeff == C64::ZERO {
+                        continue;
+                    }
+                    acc += v * coeff.conj();
+                }
+                row[base + off] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    #[test]
+    fn target_index_offsets_match_strides() {
+        // dims [2,3,2]: strides 1, 2, 6.
+        let idx = TargetIndex::new(&[1], &[2, 3, 2]);
+        assert_eq!(idx.gate_dim(), 3);
+        assert_eq!(idx.offsets, vec![0, 2, 4]);
+        assert_eq!(idx.bases, vec![0, 1, 6, 7]);
+        // Reversed two-qubit targets: gate digit 0 on subsystem 2.
+        let idx = TargetIndex::new(&[2, 0], &[2, 3, 2]);
+        assert_eq!(idx.gate_dim(), 4);
+        assert_eq!(idx.offsets, vec![0, 6, 1, 7]);
+        assert_eq!(idx.bases, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn conjugate_matches_embed_route() {
+        let dims = [2usize, 2, 2];
+        let mut rho = crate::DensityMatrix::zero(&dims).matrix().clone();
+        // Mix it up first so the test is not on a sparse corner.
+        let mut scratch = KernelScratch::new();
+        scratch.apply_conjugate(&mut rho, &gates::h(), &[0], &dims);
+        scratch.apply_conjugate(&mut rho, &gates::cnot(), &[0, 2], &dims);
+        let full = crate::embed(&gates::cnot(), &[0, 2], &dims);
+        let mut expect = crate::DensityMatrix::zero(&dims).matrix().clone();
+        let h_full = crate::embed(&gates::h(), &[0], &dims);
+        expect = &(&h_full * &expect) * &h_full.dagger();
+        expect = &(&full * &expect) * &full.dagger();
+        assert!(rho.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn kraus_kernel_preserves_trace() {
+        let dims = [2usize, 2];
+        let mut scratch = KernelScratch::new();
+        let mut rho = crate::DensityMatrix::zero(&dims).matrix().clone();
+        scratch.apply_conjugate(&mut rho, &gates::h(), &[0], &dims);
+        scratch.apply_conjugate(&mut rho, &gates::cnot(), &[0, 1], &dims);
+        scratch.apply_kraus(&mut rho, &crate::channels::depolarizing(0.2), &[1], &dims);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_matches_trace_route() {
+        let dims = [2usize, 2];
+        let mut scratch = KernelScratch::new();
+        let mut rho = crate::DensityMatrix::zero(&dims).matrix().clone();
+        scratch.apply_conjugate(&mut rho, &gates::ry(0.7), &[1], &dims);
+        let fast = scratch.expectation(&rho, &gates::z(), &[1], &dims);
+        let full = crate::embed(&gates::z(), &[1], &dims);
+        let slow = (&rho * &full).trace();
+        assert!((fast - slow).abs() < 1e-12);
+    }
+}

@@ -13,6 +13,9 @@
 //!   subspace gates.
 //! * [`channels`] — amplitude damping, dephasing, depolarizing, thermal
 //!   relaxation, leakage and qutrit channels.
+//! * [`kernels`] — in-place stride-based superoperator kernels (the fast
+//!   path behind [`DensityMatrix`]; [`embed`] is the reference they are
+//!   checked against).
 //!
 //! # Example
 //!
@@ -30,6 +33,7 @@
 
 pub mod channels;
 pub mod gates;
+pub mod kernels;
 
 mod analysis;
 mod density;
@@ -37,4 +41,5 @@ mod state;
 
 pub use analysis::euler_zxz;
 pub use density::{embed, DensityMatrix};
+pub use kernels::{KernelScratch, TargetIndex};
 pub use state::StateVector;

@@ -211,3 +211,31 @@ fn qutrit_counter_end_to_end() {
         out.populations
     );
 }
+
+#[test]
+fn kernel_executor_reproduces_reference_counts_on_fig12_benchmark() {
+    // A Fig. 12-class workload (compiled H2 VQE on a noisy Almaden-like
+    // device): the stride-kernel executor must sample counts bit-identical
+    // to the embed-based reference path at the same seed.
+    let mut rng = seeded(77);
+    let device = DeviceModel::almaden_like(2, &mut rng);
+    let cal = calibrate(&device, &mut rng);
+    let solved = vqe::solve(&molecules::h2().hamiltonian);
+    let circuit = vqe::ucc_ansatz(solved.theta);
+    let compiled = Compiler::new(&device, &cal, CompileMode::Optimized)
+        .compile(&circuit)
+        .unwrap();
+
+    let fast = PulseExecutor::new(&device).run(&compiled.program, &mut seeded(123));
+    let slow = PulseExecutor::new(&device)
+        .with_reference_path()
+        .run(&compiled.program, &mut seeded(123));
+    for (a, b) in fast.probabilities.iter().zip(&slow.probabilities) {
+        assert!((a - b).abs() < 1e-12, "kernel drift: {a} vs {b}");
+    }
+    assert_eq!(
+        fast.sample_counts_deterministic(0xF16, 16_000),
+        slow.sample_counts_deterministic(0xF16, 16_000),
+        "kernel swap changed fig12-class counts"
+    );
+}
