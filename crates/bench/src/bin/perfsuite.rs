@@ -5,17 +5,25 @@
 //! ```
 //!
 //! Times a figure-4-class single-gate workload, reduced-shot figure-12 and
-//! figure-13 workloads (serial and pooled), the density-matrix stride
-//! kernels against their embed-based reference on 2–6 qubit registers, the
-//! propagator hot loop (eigendecomposition reference vs the Taylor scratch
-//! used by the integrators), and a θ-sweep with the pulse cache off vs on.
-//! Results — `workload`, `threads`, `wall_ms`, `shots_per_s`, `speedup`
-//! (vs the workload's own baseline row) — are written to `BENCH_2.json`.
+//! figure-13 workloads (serial and pooled), the device tune-up itself
+//! (cold at 1 and N threads, plus a warm snapshot load), the
+//! density-matrix stride kernels against their embed-based reference on
+//! 2–6 qubit registers, the propagator hot loop (eigendecomposition
+//! reference vs the Taylor scratch used by the integrators), and a θ-sweep
+//! with the pulse cache off vs on. Results — `workload`, `threads`,
+//! `wall_ms`, `shots_per_s`, `speedup` (vs the workload's own baseline
+//! row) — are written to `BENCH_3.json`.
 //!
 //! Pooled workloads are always recorded at 1 thread *and* at a scaling
 //! thread count (≥ 2 even on a single-core host, so the fan-out machinery
 //! is exercised); the determinism tests guarantee the numbers themselves
 //! are identical at any thread count.
+//!
+//! Every `Setup` a figure row needs is constructed once before timing, so
+//! the calibration snapshot store is warm and the figure rows measure
+//! compile+execute — the tune-up wall has its own dedicated rows
+//! (`fig12_setup_calibration`, timed with the snapshot store disabled, and
+//! `calibration_warm_load`, timed against a freshly persisted store).
 //!
 //! `--smoke` runs every workload at tiny sizes and writes
 //! `BENCH_smoke.json` — a CI-speed check that the suite runs end-to-end
@@ -25,12 +33,16 @@ use pulse_compiler::{CompileMode, Compiler};
 use quant_algos::{molecules, trotter, vqe, LineGraph};
 use quant_char::rb_sequence;
 use quant_circuit::Circuit;
-use quant_device::{PulseExecutor, ShotPool, DT};
+use quant_device::{
+    Calibration, CalibrationOptions, CalStore, DeviceModel, ProbeCache, PulseExecutor, ShotPool,
+    DT,
+};
 use quant_math::{seeded, unitary_exp, C64, CMat, PropagatorScratch};
+use rand::Rng;
 use quant_sim::{channels, gates, DensityMatrix, KernelScratch};
 use repro_bench::{
     compare_flows, json,
-    timing::{time_best, time_once},
+    timing::time_best,
     Setup,
 };
 
@@ -64,20 +76,25 @@ fn record(
     entries.push(entry);
 }
 
-/// Figure-4 class: compile the X gate both ways and execute noiselessly.
-fn fig04_workload(pool: &ShotPool, shots: usize) -> usize {
+/// Figure-4 class: compile the X gate both ways and execute noiselessly,
+/// `reps` times. One compile+execute+sample pass is sub-millisecond now
+/// that the tune-up loads from the snapshot store, so the repetition count
+/// is what lifts the row above the timer's noise floor.
+fn fig04_workload(pool: &ShotPool, shots: usize, reps: usize) -> usize {
     let setup = Setup::almaden(1, 404);
     let mut c = Circuit::new(1);
     c.x(0);
-    for mode in [CompileMode::Standard, CompileMode::Optimized] {
-        let compiled = Compiler::new(&setup.device, &setup.calibration, mode)
-            .compile(&c)
-            .unwrap();
-        let exec = PulseExecutor::noiseless(&setup.device);
-        let out = exec.run(&compiled.program, &mut seeded(1));
-        std::hint::black_box(pool.sample_counts(&out.probabilities, shots, 404));
+    for _ in 0..reps {
+        for mode in [CompileMode::Standard, CompileMode::Optimized] {
+            let compiled = Compiler::new(&setup.device, &setup.calibration, mode)
+                .compile(&c)
+                .unwrap();
+            let exec = PulseExecutor::noiseless(&setup.device);
+            let out = exec.run(&compiled.program, &mut seeded(1));
+            std::hint::black_box(pool.sample_counts(&out.probabilities, shots, 404));
+        }
     }
-    2 * shots
+    reps * 2 * shots
 }
 
 /// Figure-12 class at reduced shots: three benchmarks through both flows.
@@ -222,11 +239,16 @@ fn main() {
         pool.threads()
     );
 
-    // fig04-class, serial then pooled.
+    // fig04-class, serial then pooled. Best-of-3: the workload is a few
+    // hundred milliseconds of compile+sample, where single draws swing
+    // enough on a shared VM to misstate a ~1.0× ratio as a regression.
     let shots4 = if smoke { 200 } else { 10_000 };
-    let (n, serial_ms) = time_once(|| fig04_workload(&serial, shots4));
+    let reps4 = if smoke { 2 } else { 100 };
+    let best4 = if smoke { 1 } else { 3 };
+    std::hint::black_box(Setup::almaden(1, 404)); // warm the snapshot store
+    let (n, serial_ms) = time_best(best4, || fig04_workload(&serial, shots4, reps4));
     record(&mut entries, "fig04_compile_execute", 1, serial_ms, n, serial_ms);
-    let (n, ms) = time_once(|| fig04_workload(&pool, shots4));
+    let (n, ms) = time_best(best4, || fig04_workload(&pool, shots4, reps4));
     record(&mut entries, "fig04_compile_execute", pool.threads(), ms, n, serial_ms);
 
     // fig12-class, reduced shots, serial then pooled.
@@ -253,29 +275,67 @@ fn main() {
         ),
     ];
     let shots12 = if smoke { 50 } else { 2000 };
-    let (n, serial_ms) = time_once(|| fig12_workload(&serial, &benchmarks, shots12));
+    for (i, (_, n)) in benchmarks.iter().enumerate() {
+        std::hint::black_box(Setup::almaden(*n, 1000 + i as u64)); // warm snapshots
+    }
+    let best12 = if smoke { 1 } else { 3 };
+    let (n, serial_ms) = time_best(best12, || fig12_workload(&serial, &benchmarks, shots12));
     record(&mut entries, "fig12_reduced", 1, serial_ms, n, serial_ms);
-    let (n, ms) = time_once(|| fig12_workload(&pool, &benchmarks, shots12));
+    let (n, ms) = time_best(best12, || fig12_workload(&pool, &benchmarks, shots12));
     record(&mut entries, "fig12_reduced", pool.threads(), ms, n, serial_ms);
 
-    // Where fig12 wall-clock actually goes: the three device setups (model
-    // construction + full pulse calibration) alone, with the same seeds as
-    // `fig12_workload`. Calibration integrates thousands of tune-up pulses
-    // and dominates the row above; the state-evolution kernels cannot touch
-    // it, so BENCH_*.json carries the decomposition explicitly.
-    let (n, ms) = time_once(|| {
+    // The tune-up wall itself: the three `fig12_workload` device
+    // calibrations (same seeds, same RNG draw order as `Setup::almaden`),
+    // timed **cold** — snapshot store disabled — serial and fanned out,
+    // then **warm** — loaded back from a freshly persisted store. The
+    // speedup column of the warm row is warm-load vs cold-serial.
+    let cold_setups = |pool: &ShotPool, store: &CalStore| {
         for (i, (_, n)) in benchmarks.iter().enumerate() {
-            std::hint::black_box(Setup::almaden(*n, 1000 + i as u64));
+            let mut rng = seeded(1000 + i as u64);
+            let device = DeviceModel::almaden_like(*n, &mut rng);
+            let root = rng.gen::<u64>();
+            std::hint::black_box(Calibration::run_seeded_with(
+                &device,
+                &CalibrationOptions::default(),
+                root,
+                store,
+                pool,
+                &ProbeCache::with_enabled(true),
+            ));
         }
         benchmarks.len()
+    };
+    let disabled = CalStore::disabled();
+    let best_cold = if smoke { 1 } else { 2 };
+    let (n, cold_serial_ms) = time_best(best_cold, || cold_setups(&serial, &disabled));
+    record(&mut entries, "fig12_setup_calibration", 1, cold_serial_ms, n, cold_serial_ms);
+    let (n, ms) = time_best(best_cold, || cold_setups(&pool, &disabled));
+    record(
+        &mut entries,
+        "fig12_setup_calibration",
+        pool.threads(),
+        ms,
+        n,
+        cold_serial_ms,
+    );
+    let warm_dir =
+        std::env::temp_dir().join(format!("opc-cal-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let warm_store = CalStore::at(&warm_dir);
+    cold_setups(&serial, &warm_store); // persist the three snapshots
+    let (n, warm_ms) = time_best(if smoke { 1 } else { 5 }, || {
+        cold_setups(&serial, &warm_store)
     });
-    record(&mut entries, "fig12_setup_calibration", 1, ms, n, ms);
+    record(&mut entries, "calibration_warm_load", 1, warm_ms, n, cold_serial_ms);
+    let _ = std::fs::remove_dir_all(&warm_dir);
 
     // fig13-class, reduced shots, serial then pooled.
     let shots13 = if smoke { 50 } else { 2000 };
-    let (n, serial_ms) = time_once(|| fig13_workload(&serial, shots13));
+    std::hint::black_box(Setup::armonk(1313)); // warm the snapshot store
+    let best13 = if smoke { 1 } else { 3 };
+    let (n, serial_ms) = time_best(best13, || fig13_workload(&serial, shots13));
     record(&mut entries, "fig13_reduced", 1, serial_ms, n, serial_ms);
-    let (n, ms) = time_once(|| fig13_workload(&pool, shots13));
+    let (n, ms) = time_best(best13, || fig13_workload(&pool, shots13));
     record(&mut entries, "fig13_reduced", pool.threads(), ms, n, serial_ms);
 
     // Density-matrix stride kernels vs the embed reference, on growing
@@ -372,7 +432,7 @@ fn main() {
             ])
         })
         .collect();
-    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_2.json" };
+    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_3.json" };
     match std::fs::write(path, json::array(items).pretty()) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path}: {e}"),

@@ -27,7 +27,7 @@
 //! when measuring raw integrator throughput.
 
 use crate::params::{CrParams, TransmonParams};
-use crate::transmon::DriveState;
+use crate::transmon::{DriveState, FrameResult};
 use quant_math::CMat;
 use quant_pulse::{Channel, Instruction, Schedule, Waveform};
 use std::collections::HashMap;
@@ -70,18 +70,11 @@ impl KeyBuilder {
         // T1/T2 do not enter the coherent integration, but they are two
         // extra words per key and keeping them makes the key a complete
         // record of the parameter struct.
-        self.f64(p.f01);
-        self.f64(p.alpha);
-        self.f64(p.rabi_hz_per_amp);
-        self.f64(p.t1);
-        self.f64(p.t2);
+        self.words.extend(p.key_words());
     }
 
     fn cr(&mut self, p: &CrParams) {
-        self.f64(p.zx_hz_per_amp);
-        self.f64(p.ix_hz_per_amp);
-        self.f64(p.zi_hz_per_amp);
-        self.f64(p.zz_static_hz);
+        self.words.extend(p.key_words());
     }
 
     fn drive_state(&mut self, s: &DriveState) {
@@ -183,6 +176,52 @@ pub fn pair_schedule_key(
 // Leading tag words keep single- and two-qubit keys in disjoint namespaces.
 const TAG_1Q: u64 = 0x5051_3151;
 const TAG_2Q: u64 = 0x5051_3251;
+const TAG_PROBE: u64 = 0x5051_3351;
+
+/// Snaps a calibration probe input (amplitude, detuning, DRAG β) onto a
+/// coarse bit-grid by zeroing the low 20 mantissa bits, leaving a 32-bit
+/// mantissa (relative grid ≈ 2.3·10⁻¹⁰ — more than five orders of
+/// magnitude below every calibration tolerance).
+///
+/// Golden-section refinement revisits probe points that coincide
+/// *mathematically* (this iteration's lower probe equals the last
+/// iteration's upper probe, since φ² = 1 − φ) but differ by a few ulps in
+/// floating point, so exact-bit cache keys would never hit. Snapping the
+/// inputs to this grid before rendering the waveform makes near-coincident
+/// probes bit-identical. The quantization is applied unconditionally —
+/// cache enabled or not — so cached and uncached calibrations produce
+/// bit-identical results.
+pub fn quantize_probe(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() & !0xF_FFFF)
+}
+
+/// Compact content address of one noiseless calibration probe: the probed
+/// transmon's parameter bits plus the rendered waveform's length and
+/// 64-bit content hash.
+///
+/// Unlike [`PulseKey`], the waveform enters by [`Waveform::content_hash64`]
+/// rather than by full sample bits: a device calibration issues a few
+/// thousand distinct probes, so the collision probability is ≈ n²/2⁶⁵
+/// ~ 10⁻¹³ — far below the probability of a cosmic-ray bit flip — and the
+/// fixed-size key keeps lookups cheap next to a 3×3 per-sample integration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProbeKey([u64; 8]);
+
+/// Builds the key for a noiseless single-qubit probe integration
+/// ([`crate::Transmon::integrate_waveform`] and friends) during tune-up.
+pub fn probe_key(p: &TransmonParams, w: &Waveform) -> ProbeKey {
+    let t = p.key_words();
+    ProbeKey([
+        TAG_PROBE,
+        t[0],
+        t[1],
+        t[2],
+        t[3],
+        t[4],
+        w.duration(),
+        w.content_hash64(),
+    ])
+}
 
 /// Cache statistics snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -292,6 +331,108 @@ impl PulseCache {
         let mut inner = self.inner.lock().unwrap();
         inner.hits = 0;
         inner.misses = 0;
+    }
+}
+
+/// Cap on resident probe entries. A full qubit tune-up issues a few
+/// thousand distinct probes; 2¹⁶ covers a 20-qubit device with room to
+/// spare while bounding memory at a few tens of MB of 3×3 propagators.
+const MAX_PROBE_ENTRIES: usize = 1 << 16;
+
+#[derive(Debug, Default)]
+struct ProbeInner {
+    map: HashMap<ProbeKey, FrameResult>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Memo table for noiseless calibration probe integrations (layer 2 of the
+/// calibration fast path): maps [`ProbeKey`] to the integrated
+/// [`FrameResult`].
+///
+/// One cache is shared by all qubit tasks of a calibration run, so
+/// identical probes — golden-section re-probes on one qubit, or identical
+/// sweep points across the identical qubits of an ideal device — integrate
+/// once. Values are pure functions of the key (quantized inputs, no noise
+/// draws), so a hit is bit-identical to a recomputation no matter which
+/// task inserted it; enabling or disabling the cache can therefore never
+/// change a calibration result, only its cost.
+#[derive(Debug)]
+pub struct ProbeCache {
+    enabled: bool,
+    inner: Mutex<ProbeInner>,
+}
+
+impl Default for ProbeCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbeCache {
+    /// An empty probe cache. Enabled unless `OPC_PROBE_CACHE` is set to
+    /// `0`, `off` or `false`.
+    pub fn new() -> Self {
+        let enabled = match std::env::var("OPC_PROBE_CACHE") {
+            Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
+            Err(_) => true,
+        };
+        Self::with_enabled(enabled)
+    }
+
+    /// An empty probe cache with memoization explicitly on or off
+    /// (env-independent — what the equivalence tests and benches use).
+    pub fn with_enabled(enabled: bool) -> Self {
+        ProbeCache {
+            enabled,
+            inner: Mutex::new(ProbeInner::default()),
+        }
+    }
+
+    /// Whether memoization is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Returns the cached probe result for `key`, or computes it with
+    /// `integrate`, stores it, and returns it. As with
+    /// [`PulseCache::get_or_integrate`], the closure runs outside the lock.
+    pub fn get_or_integrate(
+        &self,
+        key: ProbeKey,
+        integrate: impl FnOnce() -> FrameResult,
+    ) -> FrameResult {
+        if !self.enabled {
+            return integrate();
+        }
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(r) = inner.map.get(&key) {
+                let r = r.clone();
+                inner.hits += 1;
+                return r;
+            }
+            inner.misses += 1;
+        }
+        let r = integrate();
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.len() < MAX_PROBE_ENTRIES {
+            inner.map.insert(key, r.clone());
+        }
+        r
+    }
+
+    /// Current counters (`generation` is always 0: probe keys embed the
+    /// calibration-time physics, which never drifts, so the cache is never
+    /// invalidated).
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+            generation: 0,
+        }
     }
 }
 
@@ -406,6 +547,58 @@ mod tests {
         };
         assert_eq!(mk(0.5), mk(0.5));
         assert_ne!(mk(0.5), mk(0.5 + 1e-12));
+    }
+
+    #[test]
+    fn quantize_probe_snaps_near_coincident_points() {
+        // φ-section arithmetic reproduces a probe point only to a few ulps;
+        // the grid must merge those while separating genuinely new points.
+        let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+        let x = 0.327_f64;
+        let y = (x / phi) * phi; // == x mathematically, off by ~1 ulp
+        assert_eq!(quantize_probe(x).to_bits(), quantize_probe(y).to_bits());
+        assert_ne!(
+            quantize_probe(x),
+            quantize_probe(x * (1.0 + 1e-6)),
+            "distinct probe points must stay distinct"
+        );
+        assert_eq!(quantize_probe(0.0), 0.0);
+        assert!(quantize_probe(-x) < 0.0, "sign must survive quantization");
+        assert!((quantize_probe(x) / x - 1.0).abs() < 3e-10);
+    }
+
+    #[test]
+    fn probe_cache_hits_identical_probes_and_respects_disable() {
+        let p = TransmonParams::almaden_like();
+        let t = crate::transmon::Transmon::new(p);
+        let w = wf(0.25);
+        for (enabled, expected_calls) in [(true, 1), (false, 2)] {
+            let cache = ProbeCache::with_enabled(enabled);
+            let mut calls = 0;
+            let mut results = Vec::new();
+            for _ in 0..2 {
+                results.push(cache.get_or_integrate(probe_key(&p, &w), || {
+                    calls += 1;
+                    t.integrate_waveform(&w)
+                }));
+            }
+            assert_eq!(calls, expected_calls);
+            // A hit returns the bit-identical propagator.
+            assert_eq!(
+                results[0].unitary[(1, 0)].re.to_bits(),
+                results[1].unitary[(1, 0)].re.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn probe_keys_separate_params_and_waveforms() {
+        let p = TransmonParams::almaden_like();
+        let mut q = p;
+        q.rabi_hz_per_amp *= 1.0 + 1e-12;
+        assert_ne!(probe_key(&p, &wf(0.25)), probe_key(&q, &wf(0.25)));
+        assert_ne!(probe_key(&p, &wf(0.25)), probe_key(&p, &wf(0.26)));
+        assert_eq!(probe_key(&p, &wf(0.25)), probe_key(&p, &wf(0.25)));
     }
 
     #[test]

@@ -12,10 +12,13 @@
 //! `rx180`, `cx`, and `measure`. The paper's compiler reads these entries
 //! to build its augmented basis gates.
 
+use crate::cache::{probe_key, quantize_probe, ProbeCache};
 use crate::device::DeviceModel;
+use crate::executor::ShotPool;
 use crate::params::DT;
+use crate::snapshot::{snapshot_key, CalStore};
 use crate::twoqubit::{extract_control_z, extract_zx_angle};
-use quant_math::{fit_cosine, normal};
+use quant_math::{fit_cosine, normal, seeded, stream_seed};
 use quant_pulse::{
     Channel, CmdDef, CmdKey, Drag, GaussianSquare, Instruction, Schedule,
 };
@@ -185,7 +188,11 @@ pub struct PairCalibration {
 }
 
 /// The result of a full device calibration.
-#[derive(Clone, Debug)]
+///
+/// Equality is bit-exact over every calibrated parameter (and the derived
+/// `cmd_def`), which is what the determinism and snapshot round-trip tests
+/// assert.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Calibration {
     qubits: Vec<QubitCalibration>,
     pairs: Vec<PairCalibration>,
@@ -226,29 +233,100 @@ impl Default for CalibrationOptions {
 impl Calibration {
     /// Runs the full calibration suite against the device's
     /// calibration-time parameters.
+    ///
+    /// Draws exactly one root seed from `rng` (on cache hit *and* miss, so
+    /// the caller's stream continues identically either way) and delegates
+    /// to [`Calibration::run_seeded`]: every tune-up task derives its own
+    /// RNG stream from the root, so the result is bit-identical at any
+    /// `OPC_THREADS` value.
     pub fn run(device: &DeviceModel, opts: &CalibrationOptions, rng: &mut impl Rng) -> Self {
-        let mut qubits = Vec::with_capacity(device.num_qubits());
-        for q in 0..device.num_qubits() as u32 {
-            qubits.push(calibrate_qubit(device, q, opts, rng));
+        let root = rng.gen::<u64>();
+        Self::run_seeded(device, opts, root)
+    }
+
+    /// Runs the calibration from an explicit root seed, with the snapshot
+    /// store, thread pool and probe cache taken from the environment
+    /// (`OPC_CAL_CACHE`, `OPC_THREADS`, `OPC_PROBE_CACHE`).
+    pub fn run_seeded(device: &DeviceModel, opts: &CalibrationOptions, root: u64) -> Self {
+        Self::run_seeded_with(
+            device,
+            opts,
+            root,
+            &CalStore::from_env(),
+            &ShotPool::from_env(),
+            &ProbeCache::new(),
+        )
+    }
+
+    /// Fully explicit calibration entry point: every fast-path collaborator
+    /// is a parameter, so tests and benches can pin the store, the thread
+    /// count and the probe cache without touching process-global state.
+    ///
+    /// The tune-up itself is a two-phase fan-out over `pool`: qubits first
+    /// (task `q` runs on `seeded(stream_seed(root, q))`, its sweeps batched
+    /// on a nested per-task pool sized so total threads stay at
+    /// `pool.threads()`), then pairs (which consume the qubit results and
+    /// draw no randomness). Job `i` fills slot `i` whatever thread runs it,
+    /// so the result is a function of `(device, opts, root)` alone.
+    pub fn run_seeded_with(
+        device: &DeviceModel,
+        opts: &CalibrationOptions,
+        root: u64,
+        store: &CalStore,
+        pool: &ShotPool,
+        probes: &ProbeCache,
+    ) -> Self {
+        let key = snapshot_key(device, opts, root);
+        if let Some(cal) = store.load(key, device) {
+            return cal;
         }
-        let mut pairs = Vec::new();
-        for edge in device.edges() {
-            pairs.push(calibrate_pair(
-                device,
-                &qubits,
-                edge.control,
-                edge.target,
-                opts,
-            ));
-        }
-        let mut cal = Calibration {
+        let n = device.num_qubits();
+        let active = pool.threads().min(n.max(1));
+        let sweep_pool = ShotPool::new((pool.threads() / active).max(1));
+        let qubits = pool.map_indices(n, |q| {
+            let mut rng = seeded(stream_seed(root, q as u64));
+            calibrate_qubit(device, q as u32, opts, &mut rng, &sweep_pool, probes)
+        });
+        let pairs = pool.map(device.edges(), |_, edge| {
+            calibrate_pair(device, &qubits, edge.control, edge.target, opts)
+        });
+        let mut cal = Calibration::from_parts(qubits, pairs, opts.measure_duration);
+        cal.rebuild_cmd_def(device);
+        store.save(key, &cal);
+        cal
+    }
+
+    /// Assembles a calibration from its parts with an empty `cmd_def`
+    /// (callers must [`Calibration::rebuild_cmd_def`] before use).
+    pub(crate) fn from_parts(
+        qubits: Vec<QubitCalibration>,
+        pairs: Vec<PairCalibration>,
+        measure_duration: u64,
+    ) -> Self {
+        Calibration {
             qubits,
             pairs,
             cmd_def: CmdDef::new(),
-            measure_duration: opts.measure_duration,
-        };
-        cal.populate_cmd_def(device);
-        cal
+            measure_duration,
+        }
+    }
+
+    /// Rebuilds the derived pulse library from the calibrated parameters —
+    /// used after loading a snapshot, where `cmd_def` is not stored because
+    /// it is a pure function of the parameters (floats round-trip exactly,
+    /// so the rebuilt schedules are identical to the originals).
+    pub(crate) fn rebuild_cmd_def(&mut self, device: &DeviceModel) {
+        self.populate_cmd_def(device);
+    }
+
+    /// All per-qubit calibrations, indexed by qubit.
+    pub fn qubits(&self) -> &[QubitCalibration] {
+        &self.qubits
+    }
+
+    /// All calibrated directed pairs.
+    pub fn pairs(&self) -> &[PairCalibration] {
+        &self.pairs
     }
 
     /// Calibrated single-qubit pulses for qubit `q`.
@@ -418,11 +496,29 @@ impl Calibration {
 /// device's documented calibration residual (`DriftParams::cal_amp_sigma`)
 /// is injected on top, since our simulated sweeps are otherwise more
 /// precise than a real lab's.
+///
+/// Two fast-path hooks thread through every probe:
+///
+/// * **Sweep batching.** Fixed sweeps (the 41-point Rabi, the 21-point
+///   DRAG, the 40 `direct_rx_table` points) integrate their *noiseless*
+///   physics on `pool`, then apply the per-point shot noise serially in
+///   index order from this qubit's own `rng` stream. [`quant_math::normal`]
+///   consumes draws independently of its arguments, so the stream is
+///   bit-identical to the fully serial order at any thread count.
+/// * **Probe memoization.** All noiseless integrations go through
+///   `probes`, and search-driven probe inputs are snapped with
+///   [`quantize_probe`] *before* the waveform is rendered: the two
+///   golden-section refinements revisit near-coincident points (the
+///   section overlap, the re-refinement after the β sweep), which only hit
+///   the content-addressed cache once quantized. Final pulse parameters
+///   are the raw search outputs — quantization touches probes only.
 fn calibrate_qubit(
     device: &DeviceModel,
     q: u32,
     opts: &CalibrationOptions,
     rng: &mut impl Rng,
+    pool: &ShotPool,
+    probes: &ProbeCache,
 ) -> QubitCalibration {
     let transmon = device.transmon_cal(q);
     let mk = |amp: f64, beta: f64| Drag {
@@ -431,15 +527,22 @@ fn calibrate_qubit(
         sigma: opts.pulse_sigma,
         beta,
     };
+    let integrate = |w: &quant_pulse::Waveform| {
+        probes.get_or_integrate(probe_key(transmon.params(), w), || {
+            transmon.integrate_waveform(w)
+        })
+    };
 
     // --- Coarse Rabi amplitude sweep ------------------------------------
     // Stay below ~0.45 amplitude: at stronger drives the |2⟩ level Stark-
     // shifts the effective Rabi rate and biases the fit.
-    let amps: Vec<f64> = (1..=41).map(|i| i as f64 * 0.011).collect();
-    let pops: Vec<f64> = amps
+    let amps: Vec<f64> = (1..=41).map(|i| quantize_probe(i as f64 * 0.011)).collect();
+    let clean: Vec<f64> = pool.map(&amps, |_, &amp| {
+        integrate(&mk(amp, 0.0).waveform("rabi")).unitary[(1, 0)].norm_sqr()
+    });
+    let pops: Vec<f64> = clean
         .iter()
-        .map(|&amp| {
-            let p = transmon.excited_population(&mk(amp, 0.0).waveform("rabi"));
+        .map(|&p| {
             let sigma = (p * (1.0 - p) / opts.shots as f64).sqrt();
             (p + normal(rng, 0.0, sigma)).clamp(0.0, 1.0)
         })
@@ -457,9 +560,8 @@ fn calibrate_qubit(
     // tomography-extracted angle) and detuning (minimize the axis tilt,
     // visible as the Z-sandwich phases of the ZXZ form).
     let angle = |amp: f64, det: f64, beta: f64| -> f64 {
-        let u = transmon
-            .integrate_waveform(&mk(amp, beta).waveform_detuned("p", det))
-            .qubit_block();
+        let (amp, det, beta) = (quantize_probe(amp), quantize_probe(det), quantize_probe(beta));
+        let u = integrate(&mk(amp, beta).waveform_detuned("p", det)).qubit_block();
         quant_sim::euler_zxz(&u).1
     };
     let golden = |mut lo: f64, mut hi: f64, iters: usize, err: &dyn Fn(f64) -> f64| -> f64 {
@@ -493,13 +595,15 @@ fn calibrate_qubit(
 
     // --- DRAG β sweep -----------------------------------------------------
     let beta_mag = 1.0 / (TAU * device.qubit(q).alpha.abs()) / DT;
-    let mut best = (0.0_f64, f64::INFINITY);
-    for i in -10..=10 {
-        let beta = beta_mag * i as f64 / 5.0;
-        let leak = transmon
-            .integrate_waveform(&mk(amp180_b0, beta).waveform_detuned("drag", det180_b0))
+    let betas: Vec<f64> = (-10..=10).map(|i| beta_mag * i as f64 / 5.0).collect();
+    let (amp_d, det_d) = (quantize_probe(amp180_b0), quantize_probe(det180_b0));
+    let leaks: Vec<f64> = pool.map(&betas, |_, &beta| {
+        integrate(&mk(amp_d, quantize_probe(beta)).waveform_detuned("drag", det_d))
             .leakage_from_ground()
-            + normal(rng, 0.0, 0.01 / opts.shots as f64).abs();
+    });
+    let mut best = (0.0_f64, f64::INFINITY);
+    for (&beta, &clean_leak) in betas.iter().zip(&leaks) {
+        let leak = clean_leak + normal(rng, 0.0, 0.01 / opts.shots as f64).abs();
         if leak < best.1 {
             best = (beta, leak);
         }
@@ -525,9 +629,7 @@ fn calibrate_qubit(
     // are compensated with virtual-Z frame changes. A small tomography
     // noise floor is left in.
     let mut measure_phases = |pulse: &Drag, det: f64| -> (f64, f64) {
-        let u = transmon
-            .integrate_waveform(&pulse.waveform_detuned("tomo", det))
-            .qubit_block();
+        let u = integrate(&pulse.waveform_detuned("tomo", det)).qubit_block();
         let (a, _theta, c) = quant_sim::euler_zxz(&u);
         (a + normal(rng, 0.0, 2e-3), c + normal(rng, 0.0, 2e-3))
     };
@@ -538,21 +640,21 @@ fn calibrate_qubit(
     // Scale the calibrated π pulse down by s = 0/40 … 40/40 and record the
     // tomography-measured ZXZ phase corrections at each point.
     let base = rx180.waveform_detuned("scaled", det180);
-    let direct_rx_table: Vec<(f64, f64, f64)> = (0..=40)
-        .map(|i| {
-            let s = i as f64 / 40.0;
-            if s == 0.0 {
-                return (0.0, 0.0, 0.0);
-            }
-            let u = transmon.integrate_waveform(&base.scaled(s)).qubit_block();
-            let (a, _theta, c) = quant_sim::euler_zxz(&u);
-            (
-                s,
-                a + normal(rng, 0.0, 2e-3),
-                c + normal(rng, 0.0, 2e-3),
-            )
-        })
-        .collect();
+    let corrections = pool.map_indices(40, |j| {
+        let s = (j + 1) as f64 / 40.0;
+        let u = integrate(&base.scaled(s)).qubit_block();
+        let (a, _theta, c) = quant_sim::euler_zxz(&u);
+        (s, a, c)
+    });
+    let mut direct_rx_table = Vec::with_capacity(41);
+    direct_rx_table.push((0.0, 0.0, 0.0));
+    for (s, a, c) in corrections {
+        direct_rx_table.push((
+            s,
+            a + normal(rng, 0.0, 2e-3),
+            c + normal(rng, 0.0, 2e-3),
+        ));
+    }
 
     QubitCalibration {
         rx90,

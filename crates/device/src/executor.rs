@@ -522,6 +522,14 @@ impl ShotPool {
     /// results in index order. `f` must depend only on its index argument
     /// (derive randomness as `seeded(seed ^ index)`); the output is then
     /// independent of the thread count.
+    ///
+    /// Scheduling is work-stealing: workers pull the next unclaimed index
+    /// from a shared atomic counter, so unequal per-index costs (e.g. RB
+    /// sequences of different lengths, qubits whose golden-section searches
+    /// converge at different depths) balance automatically instead of
+    /// riding on whichever contiguous chunk they landed in. Slot `i` still
+    /// receives `f(i)` whatever thread computed it, so the determinism
+    /// contract is unchanged.
     pub fn map_indices<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -531,20 +539,29 @@ impl ShotPool {
         if threads <= 1 {
             return (0..n).map(f).collect();
         }
-        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        let chunk = n.div_ceil(threads);
+        let next = std::sync::atomic::AtomicUsize::new(0);
         let f = &f;
-        std::thread::scope(|scope| {
-            for (w, slots) in out.chunks_mut(chunk).enumerate() {
-                scope.spawn(move || {
-                    let base = w * chunk;
-                    for (j, slot) in slots.iter_mut().enumerate() {
-                        *slot = Some(f(base + j));
-                    }
-                });
-            }
+        let next = &next;
+        let mut partials: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= n {
+                                return local;
+                            }
+                            local.push((i, f(i)));
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        out.into_iter().map(|slot| slot.unwrap()).collect()
+        let mut indexed: Vec<(usize, T)> = partials.drain(..).flatten().collect();
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, v)| v).collect()
     }
 
     /// Parallel map over a slice, in index order.
@@ -563,8 +580,17 @@ impl ShotPool {
     /// per-shot draws, so the result is bit-identical at any thread count
     /// (and to [`ExecOutcome::sample_counts_deterministic`]).
     pub fn sample_counts(&self, probabilities: &[f64], shots: usize, seed: u64) -> Vec<u64> {
+        // A single categorical draw is tens of nanoseconds; below a few
+        // tens of thousands of shots per worker, thread spawn + join costs
+        // more than the sampling itself (the fig04 suite regressed to
+        // 0.9× when its 10 k-shot jobs were split across 2 threads). Cap
+        // the fan-out so every worker has enough draws to amortize.
+        const MIN_SHOTS_PER_WORKER: usize = 16_384;
         let bins = probabilities.len();
-        let threads = self.threads.min(shots.max(1));
+        let threads = self
+            .threads
+            .min(shots.max(1))
+            .min((shots / MIN_SHOTS_PER_WORKER).max(1));
         let chunk = shots.div_ceil(threads.max(1)).max(1);
         let ranges: Vec<(usize, usize)> = (0..shots)
             .step_by(chunk)

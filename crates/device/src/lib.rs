@@ -15,6 +15,8 @@
 //! * [`device`] — the backend façade with drift between calibration and
 //!   execution time.
 //! * [`readout`] — confusion-matrix readout error and IQ-cloud simulation.
+//! * [`snapshot`] — persistent on-disk calibration snapshots keyed by
+//!   device physics + options + seed (`OPC_CAL_CACHE`).
 //! * [`executor`] — the noisy density-matrix executor for lowered programs.
 //!
 //! ```no_run
@@ -36,14 +38,16 @@ pub mod device;
 pub mod executor;
 pub mod params;
 pub mod readout;
+pub mod snapshot;
 pub mod trajectory;
 pub mod transmon;
 pub mod tunable;
 pub mod twoqubit;
 
-pub use cache::{CacheStats, PulseCache, PulseKey};
-pub use calibration::{calibrate, Calibration, CalibrationOptions};
+pub use cache::{probe_key, quantize_probe, CacheStats, ProbeCache, ProbeKey, PulseCache, PulseKey};
+pub use calibration::{calibrate, Calibration, CalibrationOptions, PairCalibration, QubitCalibration};
 pub use device::{CouplingEdge, DeviceModel};
+pub use snapshot::{snapshot_key, CalStore, CAL_ALGO_VERSION};
 pub use executor::{Block, ExecOutcome, LoweredProgram, PulseExecutor, QutritOutcome, ShotPool};
 pub use params::{CrParams, DriftParams, ReadoutParams, TransmonParams, DT};
 pub use transmon::{DriveState, FrameResult, Transmon};

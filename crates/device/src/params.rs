@@ -57,6 +57,19 @@ impl TransmonParams {
     pub fn f02_half(&self) -> f64 {
         self.f01 + self.alpha / 2.0
     }
+
+    /// The parameter struct folded bit-exactly into key words, for
+    /// content-addressed caches and calibration-snapshot hashing. Any
+    /// change to any field — even one ulp — changes the words.
+    pub fn key_words(&self) -> [u64; 5] {
+        [
+            self.f01.to_bits(),
+            self.alpha.to_bits(),
+            self.rabi_hz_per_amp.to_bits(),
+            self.t1.to_bits(),
+            self.t2.to_bits(),
+        ]
+    }
 }
 
 /// Effective cross-resonance interaction parameters for a coupled pair
@@ -99,6 +112,16 @@ impl CrParams {
             zi_hz_per_amp: 0.0,
             zz_static_hz: 0.0,
         }
+    }
+
+    /// Bit-exact key words (see [`TransmonParams::key_words`]).
+    pub fn key_words(&self) -> [u64; 4] {
+        [
+            self.zx_hz_per_amp.to_bits(),
+            self.ix_hz_per_amp.to_bits(),
+            self.zi_hz_per_amp.to_bits(),
+            self.zz_static_hz.to_bits(),
+        ]
     }
 }
 
@@ -185,6 +208,15 @@ impl DriftParams {
             drift_per_hour: 0.0,
             hours_since_cal: 0.0,
         }
+    }
+
+    /// Bit-exact key words (see [`TransmonParams::key_words`]).
+    pub fn key_words(&self) -> [u64; 3] {
+        [
+            self.cal_amp_sigma.to_bits(),
+            self.drift_per_hour.to_bits(),
+            self.hours_since_cal.to_bits(),
+        ]
     }
 
     /// Total relative amplitude-error 1σ at execution time.

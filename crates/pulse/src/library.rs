@@ -44,7 +44,7 @@ impl fmt::Display for CmdKey {
 }
 
 /// The backend-reported gate → pulse-schedule mapping.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CmdDef {
     entries: BTreeMap<CmdKey, Schedule>,
 }

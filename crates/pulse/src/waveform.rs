@@ -54,6 +54,33 @@ impl Waveform {
         self.samples.len() as u64
     }
 
+    /// A 64-bit FNV-1a content hash over the exact sample bits (length
+    /// included, name excluded — the name is display bookkeeping and never
+    /// enters the physics).
+    ///
+    /// Two waveforms with equal hashes integrate identically except for a
+    /// hash collision, whose probability over `n` distinct waveforms is
+    /// ≈ n²/2⁶⁵ (~10⁻¹³ for the few thousand probe pulses of a device
+    /// calibration). Callers that cannot tolerate even that (the executor's
+    /// pulse-cache keys) fold the full sample bits instead; the calibration
+    /// probe cache uses this hash for compact keys.
+    pub fn content_hash64(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        fn fold(mut h: u64, word: u64) -> u64 {
+            for byte in word.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = fold(OFFSET, self.samples.len() as u64);
+        for s in &self.samples {
+            h = fold(h, s.re.to_bits());
+            h = fold(h, s.im.to_bits());
+        }
+        h
+    }
+
     /// Complex area under the envelope, `Σ samples` (in `dt` units).
     ///
     /// To first order this determines the rotation angle a resonant pulse
@@ -312,6 +339,26 @@ mod tests {
         for i in 0..80 {
             assert!((s[i].re - s[159 - i].re).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn content_hash_tracks_samples_not_name() {
+        let g = Gaussian {
+            duration: 64,
+            amp: 0.3,
+            sigma: 16.0,
+        };
+        let a = g.waveform("a");
+        let b = g.waveform("some-other-name");
+        assert_eq!(a.content_hash64(), b.content_hash64());
+        // A one-ulp sample change must change the hash.
+        let mut samples = a.samples().to_vec();
+        samples[10].re = f64::from_bits(samples[10].re.to_bits() + 1);
+        let c = Waveform::new("a", samples);
+        assert_ne!(a.content_hash64(), c.content_hash64());
+        // Truncation changes the length word even if all samples match.
+        let d = Waveform::new("a", a.samples()[..32].to_vec());
+        assert_ne!(a.content_hash64(), d.content_hash64());
     }
 
     #[test]

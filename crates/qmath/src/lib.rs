@@ -39,4 +39,4 @@ pub use optimize::{
     NelderMeadOptions, OptimizeResult,
 };
 pub use poly::{characteristic_polynomial, durand_kerner, eigenvalues};
-pub use rng::{categorical, normal, sample_counts, seeded};
+pub use rng::{categorical, normal, sample_counts, seeded, stream_seed};
