@@ -116,7 +116,7 @@ pub fn weyl_coordinates(u: &CMat) -> (f64, f64, f64) {
         x
     };
     let mut th: Vec<f64> = thetas.iter().map(|&t| fold(t)).collect();
-    th.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    th.sort_by(|a, b| b.total_cmp(a));
     let (t1, t2, t3) = (th[0], th[1], th[2]);
     let mut c1 = (t1 + t2) / 2.0;
     let mut c2 = (t1 + t3) / 2.0;
@@ -133,7 +133,7 @@ pub fn weyl_coordinates(u: &CMat) -> (f64, f64, f64) {
     c2 = canon(c2);
     c3 = canon(c3);
     let mut cs = [c1, c2, c3];
-    cs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    cs.sort_by(|a, b| b.total_cmp(a));
     (cs[0], cs[1], cs[2])
 }
 

@@ -238,6 +238,9 @@ pub struct CacheStats {
 
 #[derive(Debug, Default)]
 struct Inner {
+    // opclint: allow(unordered-iter): lookup-only memo — get/insert/len/
+    // clear via exact content keys; never iterated, so iteration order
+    // cannot reach any result. HashMap keeps shot-loop lookups O(1).
     map: HashMap<PulseKey, CMat>,
     hits: u64,
     misses: u64,
@@ -341,6 +344,9 @@ const MAX_PROBE_ENTRIES: usize = 1 << 16;
 
 #[derive(Debug, Default)]
 struct ProbeInner {
+    // opclint: allow(unordered-iter): lookup-only memo — get/insert/len
+    // via fixed-size content keys; never iterated (values are pure
+    // functions of the key, so there is nothing order-dependent to walk).
     map: HashMap<ProbeKey, FrameResult>,
     hits: u64,
     misses: u64,

@@ -29,6 +29,50 @@ use quant_pulse::{Channel, Instruction, Schedule};
 use quant_sim::{channels, DensityMatrix, KernelScratch};
 use rand::Rng;
 use std::collections::HashMap;
+use std::fmt;
+
+/// Execution failure: the lowered program asked the device for something
+/// its topology cannot provide. Compilers targeting the device's coupling
+/// map never produce these; hand-built programs (and future multi-backend
+/// routing) get a descriptive error instead of a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A two-qubit block names a (control, target) pair with no directed
+    /// coupling edge on the device.
+    UncoupledPair {
+        /// Control qubit of the offending block.
+        control: u32,
+        /// Target qubit of the offending block.
+        target: u32,
+    },
+    /// A coupled pair has no CR control channel — an inconsistent device
+    /// topology (every coupling edge is supposed to carry one).
+    MissingControlChannel {
+        /// Control qubit of the offending block.
+        control: u32,
+        /// Target qubit of the offending block.
+        target: u32,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UncoupledPair { control, target } => write!(
+                f,
+                "qubits {control},{target} are not coupled on this device \
+                 (no directed edge control={control} -> target={target})"
+            ),
+            ExecError::MissingControlChannel { control, target } => write!(
+                f,
+                "coupled pair {control},{target} has no CR control channel \
+                 (inconsistent device topology)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// One lowered block: a pulse-schedule fragment implementing one gate.
 #[derive(Clone, Debug)]
@@ -145,6 +189,9 @@ impl ExecOutcome {
 /// channels.
 struct EvolveCtx {
     scratch: KernelScratch,
+    // opclint: allow(unordered-iter): lookup-only memo — entry()/get keyed
+    // by exact (qubit, duration); never iterated, so its order cannot leak
+    // into results. HashMap keeps the hot relax() path O(1).
     relax_memo: HashMap<(u32, u64), Vec<CMat>>,
 }
 
@@ -152,6 +199,7 @@ impl EvolveCtx {
     fn new() -> Self {
         EvolveCtx {
             scratch: KernelScratch::new(),
+            // opclint: allow(unordered-iter): constructor of the lookup-only memo above.
             relax_memo: HashMap::new(),
         }
     }
@@ -195,7 +243,24 @@ impl<'a> PulseExecutor<'a> {
     }
 
     /// Runs a lowered program and returns the outcome distribution.
+    ///
+    /// Panics if the program addresses a pair the device topology does
+    /// not couple; use [`PulseExecutor::try_run`] to get the error as a
+    /// value instead.
     pub fn run(&self, program: &LoweredProgram, rng: &mut impl Rng) -> ExecOutcome {
+        match self.try_run(program, rng) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs a lowered program, reporting topology mismatches as
+    /// [`ExecError`] instead of panicking.
+    pub fn try_run(
+        &self,
+        program: &LoweredProgram,
+        rng: &mut impl Rng,
+    ) -> Result<ExecOutcome, ExecError> {
         let n = program.num_qubits as usize;
         assert!(n >= 1 && n <= self.device.num_qubits());
         let mut rho = DensityMatrix::zero_qubits(n);
@@ -262,13 +327,18 @@ impl<'a> PulseExecutor<'a> {
                         }
                         cursor[q as usize] = start;
                     }
-                    let pair = self
-                        .device
-                        .pair_exec(*control, *target)
-                        .unwrap_or_else(|| {
-                            panic!("qubits {control},{target} are not coupled")
-                        });
-                    let u_ch = self.device.control_channel(*control, *target).unwrap();
+                    let pair = self.device.pair_exec(*control, *target).ok_or(
+                        ExecError::UncoupledPair {
+                            control: *control,
+                            target: *target,
+                        },
+                    )?;
+                    let u_ch = self.device.control_channel(*control, *target).ok_or(
+                        ExecError::MissingControlChannel {
+                            control: *control,
+                            target: *target,
+                        },
+                    )?;
                     let schedule = if self.noisy {
                         jitter_schedule(schedule, self.device.pulse_amp_jitter(), rng)
                     } else {
@@ -339,11 +409,11 @@ impl<'a> PulseExecutor<'a> {
         } else {
             true_probabilities.clone()
         };
-        ExecOutcome {
+        Ok(ExecOutcome {
             probabilities,
             true_probabilities,
             duration: end,
-        }
+        })
     }
 
     /// Runs a raw single-qutrit schedule (drive channel 0) on the 3-level
@@ -704,7 +774,7 @@ fn contraction_kraus(b: &CMat) -> Vec<CMat> {
             let deposit = v
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.norm_sqr().partial_cmp(&b.1.norm_sqr()).unwrap())
+                .max_by(|a, b| a.1.norm_sqr().total_cmp(&b.1.norm_sqr()))
                 .map(|(idx, _)| idx)
                 .unwrap_or(0);
             let mut k = CMat::zeros(n, n);
@@ -845,6 +915,35 @@ mod tests {
             "p = {:?}",
             out.probabilities
         );
+    }
+
+    #[test]
+    fn uncoupled_pair_is_a_described_error_not_a_panic() {
+        let device = DeviceModel::ideal(3);
+        let mut rng = seeded(7);
+        let cal = calibrate(&device, &mut rng);
+        let cx = cal.cmd_def().get("cx", &[0, 1]).unwrap().clone();
+        // ideal(3) couples only adjacent pairs (both directions); 0 and 2
+        // share no edge.
+        let program = LoweredProgram {
+            num_qubits: 3,
+            blocks: vec![Block::Gate2Q {
+                control: 0,
+                target: 2,
+                schedule: cx,
+            }],
+            schedule: Schedule::new("uncoupled"),
+        };
+        let exec = PulseExecutor::noiseless(&device);
+        let err = exec.try_run(&program, &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::UncoupledPair {
+                control: 0,
+                target: 2
+            }
+        );
+        assert!(err.to_string().contains("not coupled"), "{err}");
     }
 
     #[test]

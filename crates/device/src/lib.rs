@@ -48,7 +48,9 @@ pub use cache::{probe_key, quantize_probe, CacheStats, ProbeCache, ProbeKey, Pul
 pub use calibration::{calibrate, Calibration, CalibrationOptions, PairCalibration, QubitCalibration};
 pub use device::{CouplingEdge, DeviceModel};
 pub use snapshot::{snapshot_key, CalStore, CAL_ALGO_VERSION};
-pub use executor::{Block, ExecOutcome, LoweredProgram, PulseExecutor, QutritOutcome, ShotPool};
+pub use executor::{
+    Block, ExecError, ExecOutcome, LoweredProgram, PulseExecutor, QutritOutcome, ShotPool,
+};
 pub use params::{CrParams, DriftParams, ReadoutParams, TransmonParams, DT};
 pub use transmon::{DriveState, FrameResult, Transmon};
 pub use trajectory::TrajectoryExecutor;

@@ -1,0 +1,104 @@
+//! The panic-budget baseline: a committed per-crate count of
+//! `unwrap()`/`expect()`/`panic!` sites that may only shrink.
+//!
+//! The ratchet direction is asymmetric by design: a count *above* the
+//! committed baseline is an error (new panic paths snuck in), a count
+//! *below* it is a note (the file should be tightened with
+//! `--update-baseline`, but a merge race between two panic-removing PRs
+//! must not turn CI red).
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// File name of the committed baseline, relative to the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+/// Parses the committed baseline (`<crate> <count>` lines, `#` comments).
+/// Unparseable lines are reported rather than ignored, so a corrupted
+/// baseline cannot silently disable the ratchet.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut counts = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (name, count) = (parts.next(), parts.next());
+        match (name, count.and_then(|c| c.parse::<usize>().ok()), parts.next()) {
+            (Some(name), Some(count), None) => {
+                counts.insert(name.to_string(), count);
+            }
+            _ => {
+                return Err(format!(
+                    "{BASELINE_FILE}:{}: expected `<crate> <count>`, got `{line}`",
+                    lineno + 1
+                ));
+            }
+        }
+    }
+    Ok(counts)
+}
+
+/// Renders a baseline file for the given counts.
+pub fn render(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# opclint panic-budget baseline: unwrap()/expect()/panic! sites per crate\n\
+         # (non-test code). The ratchet only goes down — fix panics, then run\n\
+         #   cargo run -p opclint -- --update-baseline\n\
+         # to record the smaller count. Increases fail CI.\n",
+    );
+    for (name, count) in counts {
+        let _ = writeln!(out, "{name} {count}");
+    }
+    out
+}
+
+/// Compares current per-crate counts against the baseline. Returns
+/// ratchet violations as findings and tightening opportunities /
+/// stale entries as notes.
+pub fn compare(
+    baseline: &BTreeMap<String, usize>,
+    current: &BTreeMap<String, usize>,
+) -> (Vec<Finding>, Vec<String>) {
+    let mut findings = Vec::new();
+    let mut notes = Vec::new();
+    for (name, &count) in current {
+        match baseline.get(name) {
+            None => findings.push(Finding {
+                rule: "panic-budget",
+                file: BASELINE_FILE.to_string(),
+                line: 0,
+                message: format!(
+                    "crate `{name}` ({count} panic sites) is missing from the baseline — \
+                     run `cargo run -p opclint -- --update-baseline` and commit it"
+                ),
+            }),
+            Some(&budget) if count > budget => findings.push(Finding {
+                rule: "panic-budget",
+                file: BASELINE_FILE.to_string(),
+                line: 0,
+                message: format!(
+                    "crate `{name}` has {count} unwrap()/expect()/panic! sites, over its \
+                     budget of {budget} — remove the new panic path (return a Result) \
+                     instead of raising the budget"
+                ),
+            }),
+            Some(&budget) if count < budget => notes.push(format!(
+                "crate `{name}` is under budget ({count} < {budget}) — tighten the \
+                 ratchet with `cargo run -p opclint -- --update-baseline`"
+            )),
+            Some(_) => {}
+        }
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name) {
+            notes.push(format!(
+                "baseline entry `{name}` matches no workspace crate — stale? \
+                 refresh with `--update-baseline`"
+            ));
+        }
+    }
+    (findings, notes)
+}

@@ -1,0 +1,365 @@
+//! A minimal, purpose-built Rust lexer.
+//!
+//! `opclint`'s rules are token-pattern matches (`Ident("thread_rng")`,
+//! `Ident("partial_cmp") '(' … ')' '.' Ident("unwrap")`), so the lexer's
+//! only job is to produce the identifier/punctuation stream with **no
+//! false tokens from inside literals**: a `"thread_rng"` string, a
+//! `// HashMap.iter()` comment or an `r#"…panic!…"#` raw string must not
+//! look like code. It therefore handles, precisely:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments,
+//! * string literals with escapes, byte strings, C strings,
+//! * raw (byte/C) strings with any number of `#` guards,
+//! * char and byte-char literals (including `'\''` and `'\u{…}'`),
+//! * the lifetime-vs-char-literal ambiguity (`'a>` vs `'a'`),
+//! * raw identifiers (`r#type`).
+//!
+//! Comments are not discarded: they come back in a side channel so the
+//! rule engine can parse `// opclint: allow(<rule>): <justification>`
+//! waiver directives and attach them to the right code line.
+//!
+//! Everything else (numbers, all punctuation) is tokenized loosely — the
+//! rules never inspect numeric values, only adjacency.
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// Numeric literal (value never inspected by rules).
+    Number,
+    /// One punctuation character.
+    Punct(char),
+    /// A lifetime such as `'a` (kept distinct so `'a` never reads as the
+    /// start of a char literal).
+    Lifetime,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Source text (identifier name; empty for punctuation).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment, preserved for waiver-directive parsing.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when code tokens precede the comment on its line (a trailing
+    /// comment annotates its own line; an own-line comment annotates the
+    /// next code line).
+    pub trailing: bool,
+    /// Comment body, without the `//`/`/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: the code-token stream plus the comment side channel.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Malformed input (unterminated literals) does not panic:
+/// the lexer consumes to end-of-file, which is the safe direction for a
+/// lint (an unterminated literal hides patterns instead of inventing
+/// them, and rustc will reject the file anyway).
+pub fn lex(src: &str) -> Lexed {
+    Scanner::new(src).run()
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    /// Line of the most recent code token (for `Comment::trailing`).
+    last_token_line: u32,
+    out: Lexed,
+}
+
+impl Scanner {
+    fn new(src: &str) -> Self {
+        Scanner {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            last_token_line: 0,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.last_token_line = line;
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.string_body(0);
+                }
+                '\'' => self.quote(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(),
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), String::new(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_token_line == line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, trailing, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_token_line == line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, trailing, text });
+    }
+
+    /// Body of a non-raw string, after the opening `"`. `hashes` is 0 for
+    /// ordinary strings; for raw strings the caller uses
+    /// [`Scanner::raw_string_body`] instead.
+    fn string_body(&mut self, _start: usize) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Any escape: consume the next char blindly (covers
+                    // \" \\ \n \u{…} well enough — braces are plain
+                    // chars and cannot contain an unescaped quote).
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Body of a raw string, after `r#…#"`: ends at `"` followed by
+    /// `hashes` `#` characters.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A `'`: lifetime or char literal. A lifetime is `'` followed by an
+    /// identifier that is *not* closed by another `'` (so `'a'` is a char
+    /// but `'a,` and `'static>` are lifetimes).
+    fn quote(&mut self) {
+        let line = self.line;
+        self.bump();
+        let starts_ident = self
+            .peek(0)
+            .map(|c| c == '_' || c.is_alphabetic())
+            .unwrap_or(false);
+        if starts_ident && self.peek(1) != Some('\'') {
+            let mut name = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, name, line);
+            return;
+        }
+        // Char literal: consume up to the closing quote, honoring escapes.
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else if c == '.'
+                && self
+                    .peek(1)
+                    .map(|d| d.is_ascii_digit())
+                    .unwrap_or(false)
+            {
+                // Float like `1.25`; `0..n` and `1.0.to_bits()` stop here.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, String::new(), line);
+    }
+
+    /// An identifier — unless it turns out to be the prefix of a (raw)
+    /// string/char literal (`r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`,
+    /// `c"…"`, `b'x'`) or a raw identifier (`r#ident`).
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let raw_capable = matches!(name.as_str(), "r" | "br" | "cr");
+        let plain_string_prefix = matches!(name.as_str(), "b" | "c" | "r" | "br" | "cr");
+        match self.peek(0) {
+            Some('"') if plain_string_prefix => {
+                self.bump();
+                if raw_capable {
+                    self.raw_string_body(0);
+                } else {
+                    self.string_body(0);
+                }
+            }
+            Some('#') if raw_capable => {
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes);
+                } else if name == "r" {
+                    // Raw identifier `r#type`: skip the `#`, lex the
+                    // identifier proper.
+                    self.bump();
+                    let mut raw = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            raw.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident, raw, line);
+                } else {
+                    self.push(TokKind::Ident, name, line);
+                }
+            }
+            Some('\'') if name == "b" => {
+                // Byte-char literal b'x'.
+                self.bump();
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+            }
+            _ => self.push(TokKind::Ident, name, line),
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end CLI tests: `opclint --check` must exit nonzero on each bad
+//! fixture, naming the rule and file:line, and exit zero on waived code.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_check(fixtures: &[&str]) -> (bool, String) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_opclint"));
+    cmd.arg("--check");
+    for f in fixtures {
+        cmd.arg(dir.join(f));
+    }
+    let out = cmd.output().expect("spawn opclint");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.success(), stdout)
+}
+
+#[test]
+fn check_fails_on_each_bad_fixture_naming_rule_and_location() {
+    for (fixture, rule, line) in [
+        ("bad_unordered_iter.rs", "unordered-iter", 7),
+        ("bad_nondeterminism.rs", "nondeterminism", 5),
+        ("bad_float_cmp.rs", "float-cmp-unwrap", 7),
+        ("bad_allow.rs", "allow-syntax", 8),
+    ] {
+        let (ok, stdout) = run_check(&[fixture]);
+        assert!(!ok, "{fixture} should fail --check:\n{stdout}");
+        assert!(
+            stdout.contains(&format!("error[{rule}]")),
+            "{fixture} must name rule {rule}:\n{stdout}"
+        );
+        assert!(
+            stdout.contains(&format!("{fixture}:{line}:")),
+            "{fixture} must point at line {line}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn check_passes_on_waived_and_literal_fixtures() {
+    for fixture in ["allowed_ok.rs", "clean_literals.rs"] {
+        let (ok, stdout) = run_check(&[fixture]);
+        assert!(ok, "{fixture} should pass --check:\n{stdout}");
+        assert!(stdout.contains("0 finding(s)"), "{stdout}");
+    }
+}
+
+#[test]
+fn list_rules_names_all_four() {
+    let out = Command::new(env!("CARGO_BIN_EXE_opclint"))
+        .arg("--list-rules")
+        .output()
+        .expect("spawn opclint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["unordered-iter", "nondeterminism", "float-cmp-unwrap", "panic-budget"] {
+        assert!(stdout.contains(rule), "missing {rule} in: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_opclint"))
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn opclint");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,15 @@
+//! Fixture: malformed waivers. A directive without a justification (or
+//! naming an unwaivable rule) is an `allow-syntax` finding, and the
+//! underlying violation still fires.
+
+use std::collections::HashMap;
+
+pub struct M {
+    // opclint: allow(unordered-iter)
+    pub map: HashMap<u64, u64>,
+}
+
+pub fn f(x: f64, y: f64) -> std::cmp::Ordering {
+    // opclint: allow(panic-budget): the budget is not waivable per-site
+    x.partial_cmp(&y).unwrap()
+}

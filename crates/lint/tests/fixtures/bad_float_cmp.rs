@@ -1,0 +1,20 @@
+//! Fixture: NaN-panicking float comparisons.
+//! Both chains below must be flagged `float-cmp-unwrap`.
+
+pub fn max_index(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+pub fn sorted(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sort key"));
+    xs
+}
+
+/// A bare `partial_cmp` that handles `None` is fine.
+pub fn safe(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}

@@ -1,0 +1,20 @@
+//! Fixture: ambient entropy and wall-clock reads in a simulation path.
+//! Each use below must be flagged `nondeterminism`.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn reseed() -> u64 {
+    let rng = SmallRng::from_entropy();
+    rng.next_u64()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn tick() -> std::time::Instant {
+    std::time::Instant::now()
+}

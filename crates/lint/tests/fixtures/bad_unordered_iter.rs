@@ -1,0 +1,27 @@
+//! Fixture: unordered-collection declarations and iteration.
+//! Every `HashMap`/`HashSet` site below must be flagged `unordered-iter`.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    pub gates: HashMap<String, u32>,
+}
+
+pub fn names(r: &Registry) -> Vec<String> {
+    // Iteration via .keys() on a tracked field: order is per-process.
+    r.gates.keys().cloned().collect()
+}
+
+pub fn walk(r: &Registry) -> u32 {
+    let mut total = 0;
+    for (_, v) in &r.gates {
+        total += v;
+    }
+    total
+}
+
+pub fn drained() -> Vec<(u64, u64)> {
+    let mut set = HashSet::new();
+    set.insert((1, 2));
+    set.drain().collect()
+}

@@ -1,0 +1,33 @@
+//! Fixture: banned patterns inside literals, comments and test modules.
+//! Must produce zero findings and a panic count of zero — the whole
+//! point of having a real lexer instead of a grep.
+// thread_rng() HashMap.iter() partial_cmp(x).unwrap() SystemTime::now()
+
+pub const DOC: &str = "call thread_rng() then map.iter() and SystemTime::now()";
+pub const RAW: &str = r#"Instant::now() and from_entropy() and HashSet::new().drain()"#;
+pub const GUARDED: &str = r##"more panic! with "quotes" and partial_cmp(a).unwrap()"##;
+pub const BYTES: &[u8] = b"panic! unwrap() expect()";
+pub const QUOTE_CHAR: char = '"';
+pub const ESCAPED: &str = "an escaped \" quote, then thread_rng()";
+
+/* block comment: partial_cmp(a).unwrap() and /* nested HashMap.keys() */ still a comment */
+
+pub fn lifetime_soup<'a>(s: &'a str) -> &'a str {
+    let _c = 'x';
+    let _q = '\'';
+    let r#type = s;
+    r#type
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_and_entropy_are_fine_in_tests() {
+        let _t = std::time::Instant::now();
+        let _rng = rand::thread_rng();
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        for (_k, _v) in &m {}
+        let _ = (0.5f64).partial_cmp(&0.25).unwrap();
+    }
+}

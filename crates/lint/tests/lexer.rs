@@ -1,0 +1,118 @@
+//! Lexer unit tests: the token stream must contain exactly the code
+//! identifiers — never tokens from inside strings, raw strings, chars,
+//! or comments — with correct line numbers and comment side channel.
+
+use opclint::lexer::{lex, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn plain_tokens_and_lines() {
+    let lexed = lex("let a = 1;\nlet b = foo(a);\n");
+    let ids: Vec<(String, u32)> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| (t.text.clone(), t.line))
+        .collect();
+    assert_eq!(
+        ids,
+        vec![
+            ("let".to_string(), 1),
+            ("a".to_string(), 1),
+            ("let".to_string(), 2),
+            ("b".to_string(), 2),
+            ("foo".to_string(), 2),
+            ("a".to_string(), 2),
+        ]
+    );
+}
+
+#[test]
+fn string_contents_are_not_tokens() {
+    let ids = idents(r#"let s = "thread_rng() and HashMap.iter()";"#);
+    assert_eq!(ids, vec!["let", "s"]);
+}
+
+#[test]
+fn escaped_quotes_do_not_end_strings_early() {
+    let ids = idents(r#"let s = "escaped \" quote thread_rng()"; let t = s;"#);
+    assert_eq!(ids, vec!["let", "s", "let", "t", "s"]);
+}
+
+#[test]
+fn raw_strings_with_guards_are_skipped() {
+    let src = r####"let s = r##"has "quotes" and panic! and Instant::now()"##; done();"####;
+    assert_eq!(idents(src), vec!["let", "s", "done"]);
+}
+
+#[test]
+fn byte_and_c_strings_are_skipped() {
+    assert_eq!(idents(r#"let b = b"unwrap()"; x"#), vec!["let", "b", "x"]);
+    assert_eq!(idents(r##"let r = br#"expect()"#; y"##), vec!["let", "r", "y"]);
+}
+
+#[test]
+fn comments_are_side_channel_not_tokens() {
+    let src = "let a = 1; // trailing thread_rng()\n// own line HashMap.keys()\nlet b = 2;\n/* block\npanic! */ let c = 3;";
+    let lexed = lex(src);
+    let ids: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c"]);
+    assert_eq!(lexed.comments.len(), 3);
+    assert!(lexed.comments[0].trailing);
+    assert!(!lexed.comments[1].trailing);
+    assert_eq!(lexed.comments[1].line, 2);
+    assert!(lexed.comments[2].text.contains("panic!"));
+}
+
+#[test]
+fn nested_block_comments_terminate_correctly() {
+    let src = "/* outer /* inner HashMap */ still comment */ let after = 1;";
+    assert_eq!(idents(src), vec!["let", "after"]);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(s: &'a str) -> &'a str { let c = 'x'; let q = '\\''; s }";
+    let lexed = lex(src);
+    let lifetimes: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'a"]);
+    // The char literals must not have eaten the trailing `s`.
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("s") && t.line == 1));
+}
+
+#[test]
+fn quote_char_literal_does_not_open_a_string() {
+    // If '"' were mis-lexed as opening a string, `hidden` would vanish.
+    let src = "let q = '\"'; let hidden = 1;";
+    assert_eq!(idents(src), vec!["let", "q", "let", "hidden"]);
+}
+
+#[test]
+fn raw_identifiers_lex_as_identifiers() {
+    assert_eq!(idents("let r#type = 1; r#type"), vec!["let", "type", "type"]);
+}
+
+#[test]
+fn numbers_do_not_swallow_method_calls_or_ranges() {
+    let ids = idents("let x = 1.0f64; let y = 0..n; let z = 2.5.floor();");
+    assert!(ids.contains(&"n".to_string()));
+    assert!(ids.contains(&"floor".to_string()));
+}

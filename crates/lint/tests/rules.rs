@@ -1,0 +1,212 @@
+//! Rule-engine tests over the committed fixtures plus targeted snippets:
+//! known-bad code is flagged with the right rule at the right line,
+//! waived code passes, literals never fire, and the baseline ratchet
+//! rejects growth.
+
+use opclint::rules::{lint_file, FileCtx, FileReport};
+use opclint::{baseline, Finding};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn lint_fixture(name: &str) -> FileReport {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+    lint_file(name, &src, &lib_ctx())
+}
+
+fn lib_ctx() -> FileCtx {
+    FileCtx {
+        crate_name: "fixture".to_string(),
+        entropy_exempt: false,
+        is_test: false,
+    }
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn unordered_iter_fixture_flags_decls_and_iteration() {
+    let report = lint_fixture("bad_unordered_iter.rs");
+    let rules = rules_of(&report.findings);
+    assert!(
+        rules.iter().all(|&r| r == "unordered-iter"),
+        "unexpected rules: {:?}",
+        report.findings
+    );
+    // Two declarations (field + let), .keys(), for-loop, .drain().
+    assert_eq!(rules.len(), 5, "{:#?}", report.findings);
+    let lines: Vec<u32> = report.findings.iter().map(|f| f.line).collect();
+    assert!(lines.contains(&7), "field decl line: {lines:?}");
+    assert!(lines.contains(&12), ".keys() line: {lines:?}");
+    assert!(lines.contains(&17), "for-loop line: {lines:?}");
+    assert!(lines.contains(&26), ".drain() line: {lines:?}");
+}
+
+#[test]
+fn nondeterminism_fixture_flags_every_source() {
+    let report = lint_fixture("bad_nondeterminism.rs");
+    let rules = rules_of(&report.findings);
+    assert_eq!(
+        rules,
+        vec!["nondeterminism"; 4],
+        "{:#?}",
+        report.findings
+    );
+    let msgs: String = report
+        .findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    for what in ["thread_rng", "from_entropy", "SystemTime::now", "Instant::now"] {
+        assert!(msgs.contains(what), "missing {what} in: {msgs}");
+    }
+}
+
+#[test]
+fn nondeterminism_is_waived_for_the_bench_crate() {
+    let src = "pub fn t() -> std::time::Instant { std::time::Instant::now() }";
+    let bench = FileCtx {
+        crate_name: "repro-bench".to_string(),
+        entropy_exempt: true,
+        is_test: false,
+    };
+    assert!(lint_file("timing.rs", src, &bench).findings.is_empty());
+    assert_eq!(lint_file("timing.rs", src, &lib_ctx()).findings.len(), 1);
+}
+
+#[test]
+fn float_cmp_fixture_flags_unwrap_and_expect_but_not_unwrap_or() {
+    let report = lint_fixture("bad_float_cmp.rs");
+    assert_eq!(
+        rules_of(&report.findings),
+        vec!["float-cmp-unwrap"; 2],
+        "{:#?}",
+        report.findings
+    );
+    let lines: Vec<u32> = report.findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![7, 13]);
+    // unwrap() + expect() count toward the panic budget; unwrap_or() not.
+    assert_eq!(report.panic_count, 2);
+}
+
+#[test]
+fn justified_allows_waive_cleanly() {
+    let report = lint_fixture("allowed_ok.rs");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+#[test]
+fn unjustified_or_unwaivable_allows_are_findings_and_do_not_waive() {
+    let report = lint_fixture("bad_allow.rs");
+    let mut rules = rules_of(&report.findings);
+    rules.sort_unstable();
+    assert_eq!(
+        rules,
+        vec![
+            "allow-syntax",
+            "allow-syntax",
+            "float-cmp-unwrap",
+            "unordered-iter"
+        ],
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn literals_comments_and_test_modules_never_fire() {
+    let report = lint_fixture("clean_literals.rs");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert_eq!(report.panic_count, 0);
+}
+
+#[test]
+fn test_files_are_fully_exempt() {
+    let mut ctx = lib_ctx();
+    ctx.is_test = true;
+    let src = "pub fn f() { rand::thread_rng(); }";
+    assert!(lint_file("tests/x.rs", src, &ctx).findings.is_empty());
+}
+
+#[test]
+fn cfg_test_module_boundaries_are_token_precise() {
+    // Same banned call before, inside, and after the test module: the
+    // inside one is exempt, the outer two are not.
+    let src = "\
+pub fn before() { rand::thread_rng(); }
+#[cfg(test)]
+mod tests {
+    fn inside() { rand::thread_rng(); }
+}
+pub fn after() { rand::thread_rng(); }
+";
+    let report = lint_file("lib.rs", src, &lib_ctx());
+    let lines: Vec<u32> = report.findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![1, 6], "{:#?}", report.findings);
+}
+
+#[test]
+fn cfg_not_test_is_not_exempt() {
+    let src = "#[cfg(not(test))]\npub fn f() { rand::thread_rng(); }";
+    assert_eq!(lint_file("lib.rs", src, &lib_ctx()).findings.len(), 1);
+}
+
+#[test]
+fn baseline_round_trips() {
+    let mut counts = BTreeMap::new();
+    counts.insert("quant-device".to_string(), 19);
+    counts.insert("quant-math".to_string(), 1);
+    let parsed = baseline::parse(&baseline::render(&counts)).unwrap();
+    assert_eq!(parsed, counts);
+}
+
+#[test]
+fn baseline_rejects_garbage() {
+    assert!(baseline::parse("quant-device nineteen").is_err());
+    assert!(baseline::parse("quant-device 1 2").is_err());
+}
+
+#[test]
+fn ratchet_rejects_growth_tolerates_equality_notes_shrink() {
+    let committed: BTreeMap<String, usize> =
+        [("a".to_string(), 3), ("b".to_string(), 5)].into_iter().collect();
+
+    let grown: BTreeMap<String, usize> =
+        [("a".to_string(), 4), ("b".to_string(), 5)].into_iter().collect();
+    let (violations, notes) = baseline::compare(&committed, &grown);
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].message.contains('a'), "{}", violations[0]);
+    assert!(notes.is_empty());
+
+    let equal = committed.clone();
+    let (violations, notes) = baseline::compare(&committed, &equal);
+    assert!(violations.is_empty() && notes.is_empty());
+
+    let shrunk: BTreeMap<String, usize> =
+        [("a".to_string(), 2), ("b".to_string(), 5)].into_iter().collect();
+    let (violations, notes) = baseline::compare(&committed, &shrunk);
+    assert!(violations.is_empty());
+    assert_eq!(notes.len(), 1);
+}
+
+#[test]
+fn ratchet_requires_new_crates_in_the_baseline() {
+    let committed: BTreeMap<String, usize> = [("a".to_string(), 3)].into_iter().collect();
+    let with_new: BTreeMap<String, usize> =
+        [("a".to_string(), 3), ("newcrate".to_string(), 2)].into_iter().collect();
+    let (violations, _) = baseline::compare(&committed, &with_new);
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].message.contains("newcrate"));
+
+    // And flags stale entries the other way (as a note, not an error).
+    let (violations, notes) = baseline::compare(&with_new, &committed);
+    assert!(violations.is_empty());
+    assert_eq!(notes.len(), 1);
+    assert!(notes[0].contains("newcrate"));
+}

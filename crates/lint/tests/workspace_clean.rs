@@ -1,0 +1,66 @@
+//! The self-test that makes the invariants stick: linting the real
+//! workspace must produce zero findings and a panic count within the
+//! committed baseline. If this test fails, either fix the violation or
+//! (for a justified lookup-only collection) add a waiver — never loosen
+//! the baseline.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_findings_and_respects_the_panic_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = opclint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.findings.is_empty(),
+        "opclint findings in the workspace:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let baseline_text = std::fs::read_to_string(root.join(opclint::BASELINE_FILE))
+        .expect("lint-baseline.txt must be committed at the workspace root");
+    let committed = opclint::baseline::parse(&baseline_text).expect("parse baseline");
+    let (violations, _notes) = opclint::baseline::compare(&committed, &report.panic_counts);
+    assert!(
+        violations.is_empty(),
+        "panic budget exceeded:\n{}",
+        violations
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_scan_covers_every_crate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = opclint::lint_workspace(&root).expect("workspace scan");
+    // Every member crate (and the root package) must appear in the scan;
+    // a walker regression that silently drops a crate would otherwise
+    // disable the lint for it.
+    for name in [
+        "opclint",
+        "openpulse-repro",
+        "pulse-compiler",
+        "quant-algos",
+        "quant-char",
+        "quant-circuit",
+        "quant-device",
+        "quant-math",
+        "quant-pulse",
+        "quant-sim",
+        "rand",
+        "repro-bench",
+    ] {
+        assert!(
+            report.panic_counts.contains_key(name),
+            "crate {name} missing from scan: {:?}",
+            report.panic_counts.keys().collect::<Vec<_>>()
+        );
+    }
+}

@@ -90,7 +90,7 @@ pub fn eigh(h: &CMat) -> HermitianEig {
 
     // Sort ascending by eigenvalue, permuting eigenvector columns to match.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| a[(i, i)].re.partial_cmp(&a[(j, j)].re).unwrap());
+    order.sort_by(|&i, &j| a[(i, i)].re.total_cmp(&a[(j, j)].re));
     let values: Vec<f64> = order.iter().map(|&i| a[(i, i)].re).collect();
     let vectors = CMat::from_fn(n, n, |r, c| v[(r, order[c])]);
     HermitianEig { values, vectors }

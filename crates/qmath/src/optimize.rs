@@ -74,7 +74,7 @@ pub fn nelder_mead(
     }
 
     while evals < opts.max_evals {
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
         let f_best = simplex[0].1;
         let f_worst = simplex[n].1;
         let diam = simplex
@@ -145,7 +145,7 @@ pub fn nelder_mead(
         }
     }
 
-    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
     OptimizeResult {
         x: simplex[0].0.clone(),
         fx: simplex[0].1,

@@ -96,7 +96,7 @@ mod tests {
         // λ² + 1 → ±i
         let roots = durand_kerner(&[C64::ONE, C64::ZERO]);
         let mut mags: Vec<f64> = roots.iter().map(|r| (r.re.abs(), r.im)).map(|(re, im)| re + (im.abs() - 1.0).abs()).collect();
-        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        mags.sort_by(|a, b| a.total_cmp(b));
         for r in &roots {
             assert!(r.re.abs() < 1e-8);
             assert!((r.im.abs() - 1.0).abs() < 1e-8);
@@ -110,7 +110,7 @@ mod tests {
             &[C64::imag(1.0), C64::ZERO],
         ]);
         let mut ev: Vec<f64> = eigenvalues(&y).iter().map(|z| z.re).collect();
-        ev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ev.sort_by(|a, b| a.total_cmp(b));
         assert!((ev[0] + 1.0).abs() < 1e-8);
         assert!((ev[1] - 1.0).abs() < 1e-8);
     }
