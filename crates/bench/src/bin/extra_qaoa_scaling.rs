@@ -30,8 +30,7 @@ fn main() {
         // Hellinger noise floor scales like √(outcomes/shots).
         let shots = 2000 * (1 << n);
         let g = LineGraph::new(n);
-        let ((gamma, beta), _) = g.solve_p1();
-        let circuit = g.qaoa_circuit(&[(gamma, beta)]);
+        let circuit = repro_bench::qaoa_line_circuit(n, None);
         let ideal = circuit.output_distribution();
         let setup = Setup::almaden(n, 5_000 + n as u64);
         let mut errs = [0.0_f64; 2];

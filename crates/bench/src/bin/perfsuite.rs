@@ -8,11 +8,13 @@
 //! figure-13 workloads (serial and pooled), the device tune-up itself
 //! (cold at 1 and N threads, plus a warm snapshot load), the
 //! density-matrix stride kernels against their embed-based reference on
-//! 2–6 qubit registers, the propagator hot loop (eigendecomposition
-//! reference vs the Taylor scratch used by the integrators), and a θ-sweep
-//! with the pulse cache off vs on. Results — `workload`, `threads`,
-//! `wall_ms`, `shots_per_s`, `speedup` (vs the workload's own baseline
-//! row) — are written to `BENCH_3.json`.
+//! 2–6 qubit registers, the trajectory executor on 8–20-qubit QAOA layers
+//! (retained serial-naive reference vs the stride-kernel path at 1 and N
+//! threads, past the `O(4ⁿ)` density wall), the propagator hot loop
+//! (eigendecomposition reference vs the Taylor scratch used by the
+//! integrators), and a θ-sweep with the pulse cache off vs on. Results —
+//! `workload`, `threads`, `wall_ms`, `shots_per_s`, `speedup` (vs the
+//! workload's own baseline row) — are written to `BENCH_4.json`.
 //!
 //! Pooled workloads are always recorded at 1 thread *and* at a scaling
 //! thread count (≥ 2 even on a single-core host, so the fan-out machinery
@@ -34,14 +36,14 @@ use quant_algos::{molecules, trotter, vqe, LineGraph};
 use quant_char::rb_sequence;
 use quant_circuit::Circuit;
 use quant_device::{
-    Calibration, CalibrationOptions, CalStore, DeviceModel, ProbeCache, PulseExecutor, ShotPool,
-    DT,
+    Calibration, CalibrationOptions, CalStore, DeviceModel, LoweredProgram, ProbeCache,
+    PulseExecutor, ShotPool, TrajectoryExecutor, DT,
 };
 use quant_math::{seeded, unitary_exp, C64, CMat, PropagatorScratch};
 use rand::Rng;
 use quant_sim::{channels, gates, DensityMatrix, KernelScratch};
 use repro_bench::{
-    compare_flows, json,
+    compare_flows, json, qaoa_line_circuit,
     timing::time_best,
     Setup,
 };
@@ -170,6 +172,54 @@ fn density_kernel_workload(n: usize, reference: bool, rounds: usize) -> usize {
     }
     std::hint::black_box(rho.trace());
     ops
+}
+
+/// The trajectory executor on a textbook-compiled (CNOT·Rz·CNOT) QAOA
+/// line-graph layer: `trajectories` stochastic state-vector runs with
+/// `shots` outcomes spread across them — the workload class the `O(4ⁿ)`
+/// density wall keeps away from the density-matrix executor. `naive`
+/// selects the retained reference route (skip-scan state-vector kernels,
+/// per-sample pulse integration, clone-per-branch channel sampling and an
+/// `O(2ⁿ)` categorical scan per shot); the fast route runs stride kernels,
+/// run-compressed stack-array integration, in-place branch weighing and
+/// binary-search sampling on a per-trajectory cumulative distribution.
+fn trajectory_workload(
+    program: &LoweredProgram,
+    device: &DeviceModel,
+    trajectories: usize,
+    shots: usize,
+    naive: bool,
+    pool: &ShotPool,
+) -> usize {
+    let mut exec = TrajectoryExecutor::new(device, trajectories);
+    if naive {
+        exec = exec.with_reference_path();
+    }
+    match exec.try_run_pooled(program, shots, 41, pool) {
+        Ok(counts) => std::hint::black_box(counts),
+        Err(e) => die(format_args!("trajectory workload failed: {e}")),
+    };
+    shots
+}
+
+/// Reports a fatal workload error and exits nonzero — a benchmark binary
+/// has no caller to hand a `Result` to, and a clean diagnostic beats a
+/// panic backtrace.
+fn die(msg: std::fmt::Arguments<'_>) -> ! {
+    eprintln!("perfsuite: {msg}");
+    std::process::exit(1);
+}
+
+/// Compiles the fixed-angle QAOA layer for the trajectory rows. The angles
+/// are held constant (instead of `solve_p1`-optimized) so the setup stays
+/// polynomial at 12–20 qubits; Standard mode keeps the echoed-CR `cx`
+/// schedules the paper's Fig. 2 flow lowers to.
+fn trajectory_program(setup: &Setup, n: usize, mode: CompileMode) -> LoweredProgram {
+    let circuit = qaoa_line_circuit(n, Some((0.7, 0.42)));
+    match Compiler::new(&setup.device, &setup.calibration, mode).compile(&circuit) {
+        Ok(compiled) => compiled.program,
+        Err(e) => die(format_args!("compile QAOA-{n} layer failed: {e:?}")),
+    }
 }
 
 /// The per-sample propagator hot loop, via the eigendecomposition
@@ -361,6 +411,63 @@ fn main() {
         record(&mut entries, format!("density_n{n}_stride"), 1, ms, ops, ref_ms);
     }
 
+    // Trajectory scaling past the density wall: the same QAOA layer from
+    // 8 to 20 qubits (a 20-qubit density matrix would need 2⁴⁰ complex
+    // entries — 16 TiB). Serial-naive is the retained reference route; the
+    // kernel path is recorded at 1 thread and at the scaling pool. The
+    // determinism tests guarantee all three rows produce bit-identical
+    // counts, so the ratio is pure execution cost.
+    let traj_sizes: &[(usize, usize, usize)] = if smoke {
+        &[(3, 2, 50)]
+    } else {
+        &[(8, 8, 1024), (12, 8, 1024), (16, 4, 512), (20, 2, 128)]
+    };
+    for &(n, trajectories, shots) in traj_sizes {
+        let setup = Setup::almaden(n, 7_000 + n as u64);
+        let program = trajectory_program(&setup, n, CompileMode::Standard);
+        let best = if smoke || n >= 16 { 1 } else { 2 };
+        let (s, naive_ms) = time_best(best, || {
+            trajectory_workload(&program, &setup.device, trajectories, shots, true, &serial)
+        });
+        record(
+            &mut entries,
+            format!("trajectory_n{n}_serial_naive"),
+            1,
+            naive_ms,
+            s,
+            naive_ms,
+        );
+        let (s, ms) = time_best(best, || {
+            trajectory_workload(&program, &setup.device, trajectories, shots, false, &serial)
+        });
+        record(&mut entries, format!("trajectory_n{n}_kernel"), 1, ms, s, naive_ms);
+        let (s, ms) = time_best(best, || {
+            trajectory_workload(&program, &setup.device, trajectories, shots, false, &pool)
+        });
+        record(
+            &mut entries,
+            format!("trajectory_n{n}_kernel"),
+            pool.threads(),
+            ms,
+            s,
+            naive_ms,
+        );
+    }
+
+    // The paper-class 20-qubit workload end to end: the optimized-flow
+    // QAOA MAXCUT layer at Almaden scale, a trajectory ensemble deep
+    // enough to sample from. The acceptance bar is staying well under a
+    // minute on a single core; `speedup` is 1.0 by construction (the row
+    // is its own baseline).
+    if !smoke {
+        let setup = Setup::almaden(20, 7_020);
+        let program = trajectory_program(&setup, 20, CompileMode::Optimized);
+        let (s, ms) = time_best(1, || {
+            trajectory_workload(&program, &setup.device, 8, 2048, false, &pool)
+        });
+        record(&mut entries, "qaoa20_trajectory_workload", pool.threads(), ms, s, ms);
+    }
+
     // Propagator hot loop: eigendecomposition reference vs Taylor scratch.
     // Best-of-5 on both sides — single runs swing ~25 % on a shared VM and
     // a single noisy draw would misstate the hot-loop ratio.
@@ -432,7 +539,7 @@ fn main() {
             ])
         })
         .collect();
-    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_3.json" };
+    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_4.json" };
     match std::fs::write(path, json::array(items).pretty()) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path}: {e}"),

@@ -7,6 +7,7 @@
 //! the full noise model, sample shots, mitigate readout, compare to ideal.
 
 use pulse_compiler::{CompileMode, Compiler};
+use quant_algos::LineGraph;
 use quant_char::{counts_to_distribution, hellinger_distance, Mitigator};
 use quant_circuit::Circuit;
 use quant_device::{calibrate, Calibration, DeviceModel, PulseExecutor};
@@ -82,6 +83,20 @@ impl Setup {
         }
         Mitigator::from_calibration(&e0, &e1)
     }
+}
+
+/// The depth-1 line-graph MAXCUT QAOA circuit shared by the perfsuite
+/// trajectory rows and the `extra_qaoa_scaling` experiment.
+///
+/// With `angles = None` the `(γ, β)` pair is optimized on the ideal
+/// simulator ([`LineGraph::solve_p1`] — an exponential-cost state-vector
+/// search, tractable through ~8 qubits); fixed angles keep the 12–20-qubit
+/// perfsuite workloads off the solve, whose quality is irrelevant to a
+/// wall-clock row.
+pub fn qaoa_line_circuit(n: usize, angles: Option<(f64, f64)>) -> Circuit {
+    let g = LineGraph::new(n);
+    let angles = angles.unwrap_or_else(|| g.solve_p1().0);
+    g.qaoa_circuit(&[angles])
 }
 
 /// Builds a mitigator the fully empirical way: prepare each single-qubit

@@ -605,24 +605,46 @@ impl ShotPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.map_indices_with(n, || (), |(), i| f(i))
+    }
+
+    /// [`ShotPool::map_indices`] with **worker-local state**: `init()` runs
+    /// once on each worker thread and the resulting value is threaded
+    /// through every job that worker claims. Use it to reuse expensive
+    /// per-worker buffers (a `StateVector`, a `KernelScratch`) across jobs
+    /// without sharing them between threads.
+    ///
+    /// The determinism contract is unchanged — `f` must compute slot `i`
+    /// from the index alone, treating the state strictly as scratch (its
+    /// contents must never leak information from one index into another's
+    /// result).
+    pub fn map_indices_with<S, T, I, F>(&self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
         let threads = self.threads.min(n.max(1));
         if threads <= 1 {
-            return (0..n).map(f).collect();
+            let mut state = init();
+            return (0..n).map(|i| f(&mut state, i)).collect();
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
+        let init = &init;
         let f = &f;
         let next = &next;
         let mut partials: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(move || {
+                        let mut state = init();
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if i >= n {
                                 return local;
                             }
-                            local.push((i, f(i)));
+                            local.push((i, f(&mut state, i)));
                         }
                     })
                 })

@@ -5,22 +5,66 @@
 //! scale: each run keeps a *state vector* (`O(2ⁿ)`), samples one Kraus
 //! branch wherever the density executor would apply a channel, and the
 //! ensemble over trajectories converges to the same distribution. This is
-//! how the reproduction reaches QAOA sizes past the paper's five qubits.
+//! how the reproduction reaches Almaden-scale (20-qubit) registers the
+//! paper ran its 11.4 M shots on.
+//!
+//! # Fast path
+//!
+//! Trajectories are fanned over a [`ShotPool`] with one root `u64` drawn
+//! from the caller's RNG and a `stream_seed(root, index)` RNG stream per
+//! trajectory, so counts are **bit-identical at any `OPC_THREADS`** (the
+//! same contract as the shot engine and the calibration fan-out). Each
+//! worker reuses one [`StateVector`] + [`KernelScratch`]; gates and
+//! channel branches run through the state-vector stride kernels; channel
+//! branches are weighed in place (`KernelScratch::branch_weight`) instead
+//! of trial-applying every Kraus operator to a cloned state; and
+//! measurement outcomes are drawn by binary search on a per-trajectory
+//! cumulative distribution instead of a fresh `O(2ⁿ)` scan per shot.
+//! [`TrajectoryExecutor::with_reference_path`] routes every state update
+//! through the retained skip-scan reference kernels and every two-qubit
+//! schedule through the per-sample reference integrator instead — the
+//! cross-check (and the perfsuite baseline) for the fast path.
 
 use crate::device::DeviceModel;
-use crate::executor::{Block, LoweredProgram};
+use crate::executor::{Block, ExecError, LoweredProgram, ShotPool};
 use crate::params::DT;
 use crate::transmon::DriveState;
-use quant_math::{normal, CMat};
+use quant_math::{normal, seeded, stream_seed, CMat};
 use quant_pulse::{Channel, Instruction, Schedule};
-use quant_sim::{channels, StateVector};
+use quant_sim::{channels, KernelScratch, StateVector};
 use rand::Rng;
+
+/// Per-worker reusable state: one state vector, one kernel scratch, the
+/// channel-weight and cumulative-distribution buffers, and a memo of
+/// thermal-relaxation stages keyed by `(qubit, duration)` — programs
+/// repeat a handful of gate durations, so the channel matrices are
+/// computed once per worker instead of once per application.
+struct TrajWorker {
+    psi: StateVector,
+    scratch: KernelScratch,
+    weights: Vec<f64>,
+    cdf: Vec<f64>,
+    relax: Vec<(usize, u64, Vec<Vec<CMat>>)>,
+}
+
+impl TrajWorker {
+    fn new(n: usize) -> Self {
+        TrajWorker {
+            psi: StateVector::zero_qubits(n),
+            scratch: KernelScratch::new(),
+            weights: Vec::new(),
+            cdf: Vec::new(),
+            relax: Vec::new(),
+        }
+    }
+}
 
 /// The trajectory executor.
 #[derive(Clone, Debug)]
 pub struct TrajectoryExecutor<'a> {
     device: &'a DeviceModel,
     trajectories: usize,
+    reference: bool,
 }
 
 impl<'a> TrajectoryExecutor<'a> {
@@ -31,47 +75,140 @@ impl<'a> TrajectoryExecutor<'a> {
         TrajectoryExecutor {
             device,
             trajectories,
+            reference: false,
         }
+    }
+
+    /// Routes every state update through the reference (skip-scan)
+    /// state-vector path instead of the stride kernels, and every two-qubit
+    /// schedule through [`crate::twoqubit::CrPair::integrate_ref`] instead
+    /// of the run-compressed integrator. Slow; used by the equivalence
+    /// tests and as the perfsuite baseline.
+    pub fn with_reference_path(mut self) -> Self {
+        self.reference = true;
+        self
     }
 
     /// Runs the program, sampling `shots` measurement outcomes spread over
     /// the trajectories. Returns counts over the `2ⁿ` outcomes (readout
     /// error applied per shot).
+    ///
+    /// Draws exactly one `u64` root from `rng` and fans the trajectories
+    /// over [`ShotPool::from_env`] on per-trajectory seed streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program addresses a pair the device topology does not
+    /// couple; use [`TrajectoryExecutor::try_run`] to get the error as a
+    /// value.
     pub fn run(
         &self,
         program: &LoweredProgram,
         shots: usize,
         rng: &mut impl Rng,
     ) -> Vec<u64> {
-        let n = program.num_qubits as usize;
-        let mut counts = vec![0u64; 1 << n];
-        let per_traj = shots.div_ceil(self.trajectories);
-        let mut remaining = shots;
-        for _ in 0..self.trajectories {
-            if remaining == 0 {
-                break;
-            }
-            let take = per_traj.min(remaining);
-            remaining -= take;
-            let psi = self.run_single(program, rng);
-            let probs = psi.probabilities();
-            for _ in 0..take {
-                let outcome = quant_math::categorical(rng, &probs);
-                counts[self.noisy_readout(outcome, n, rng)] += 1;
-            }
+        match self.try_run(program, shots, rng) {
+            Ok(counts) => counts,
+            Err(e) => panic!("{e}"),
         }
-        counts
     }
 
-    /// Evolves one stochastic trajectory.
-    fn run_single(&self, program: &LoweredProgram, rng: &mut impl Rng) -> StateVector {
+    /// Runs the program, reporting topology mismatches as [`ExecError`]
+    /// instead of panicking. Draws one `u64` root from `rng`; the pool
+    /// size comes from `OPC_THREADS`.
+    pub fn try_run(
+        &self,
+        program: &LoweredProgram,
+        shots: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<u64>, ExecError> {
+        let root = rng.gen::<u64>();
+        self.try_run_pooled(program, shots, root, &ShotPool::from_env())
+    }
+
+    /// [`TrajectoryExecutor::try_run`] with an explicit root seed and pool.
+    ///
+    /// Trajectory `i` runs on `seeded(stream_seed(root, i))` and shots are
+    /// split across trajectories by index (`shots/T` each, the first
+    /// `shots % T` taking one extra), so the returned counts depend only on
+    /// `(program, shots, root)` — never on the thread count.
+    pub fn try_run_pooled(
+        &self,
+        program: &LoweredProgram,
+        shots: usize,
+        root: u64,
+        pool: &ShotPool,
+    ) -> Result<Vec<u64>, ExecError> {
         let n = program.num_qubits as usize;
-        let mut psi = StateVector::zero_qubits(n);
+        let trajectories = self.trajectories.min(shots.max(1));
+        let base = shots / trajectories;
+        let extra = shots % trajectories;
+        let sampled = pool.map_indices_with(
+            trajectories,
+            || TrajWorker::new(n),
+            |w, i| -> Result<Vec<u32>, ExecError> {
+                let take = base + usize::from(i < extra);
+                if take == 0 {
+                    return Ok(Vec::new());
+                }
+                let mut rng = seeded(stream_seed(root, i as u64));
+                self.evolve(program, w, &mut rng)?;
+                // Per-trajectory cumulative distribution; outcomes are then
+                // one uniform draw + binary search each instead of an
+                // O(2ⁿ) categorical scan per shot.
+                w.cdf.clear();
+                w.cdf.reserve(w.psi.dim());
+                let mut acc = 0.0f64;
+                for a in w.psi.amplitudes() {
+                    acc += a.norm_sqr();
+                    w.cdf.push(acc);
+                }
+                let total = acc;
+                let top = w.psi.dim() - 1;
+                let mut outcomes = Vec::with_capacity(take);
+                for _ in 0..take {
+                    let u = rng.gen::<f64>() * total;
+                    let outcome = w.cdf.partition_point(|&c| c <= u).min(top);
+                    outcomes.push(self.noisy_readout(outcome, n, &mut rng) as u32);
+                }
+                Ok(outcomes)
+            },
+        );
+        // Reduce in trajectory-index order (u64 additions, so the total is
+        // exact and thread-count independent either way).
+        let mut counts = vec![0u64; 1 << n];
+        for outcomes in sampled {
+            for o in outcomes? {
+                counts[o as usize] += 1;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Applies a (possibly sub-unitary) operator through the selected
+    /// kernel path.
+    fn apply(&self, w: &mut TrajWorker, op: &CMat, targets: &[usize]) {
+        if self.reference {
+            w.psi.apply_unitary_ref(op, targets);
+        } else {
+            w.psi.apply_unitary_scratch(op, targets, &mut w.scratch);
+        }
+    }
+
+    /// Evolves one stochastic trajectory in the worker's reused state.
+    fn evolve(
+        &self,
+        program: &LoweredProgram,
+        w: &mut TrajWorker,
+        rng: &mut impl Rng,
+    ) -> Result<(), ExecError> {
+        let n = program.num_qubits as usize;
+        w.psi.reset_zero();
         // Thermal SPAM.
         let p_reset = self.device.reset_excited_prob();
         for q in 0..n {
             if p_reset > 0.0 && rng.gen::<f64>() < p_reset {
-                psi.apply_unitary(&quant_sim::gates::x(), &[q]);
+                self.apply(w, &quant_sim::gates::x(), &[q]);
             }
         }
         let mut cursor = vec![0u64; n];
@@ -79,16 +216,16 @@ impl<'a> TrajectoryExecutor<'a> {
         for block in &program.blocks {
             match block {
                 Block::Idle { qubit, duration } => {
-                    self.relax_sampled(&mut psi, *qubit as usize, *duration, rng);
+                    self.relax_sampled(w, *qubit as usize, *duration, rng);
                     cursor[*qubit as usize] += duration;
                 }
                 Block::Gate1Q { qubit, waveforms } => {
                     let q = *qubit as usize;
                     let transmon = self.device.transmon_exec(*qubit);
-                    for w in waveforms {
-                        let w = self.jittered(w, rng);
+                    for wave in waveforms {
+                        let wave = self.jittered(wave, rng);
                         let mut state = DriveState::default();
-                        let u3x3 = transmon.integrate_play(&mut state, &w);
+                        let u3x3 = transmon.integrate_play(&mut state, &wave);
                         let b = CMat::from_rows(&[
                             &[u3x3[(0, 0)], u3x3[(0, 1)]],
                             &[u3x3[(1, 0)], u3x3[(1, 1)]],
@@ -96,10 +233,10 @@ impl<'a> TrajectoryExecutor<'a> {
                         // Sub-unitary contraction: renormalize (leakage is
                         // tiny; the deposited-weight branch is negligible
                         // at trajectory resolution).
-                        psi.apply_kraus_branch(&b, &[q]);
-                        psi.normalize();
-                        self.relax_sampled(&mut psi, q, w.duration(), rng);
-                        cursor[q] += w.duration();
+                        self.apply(w, &b, &[q]);
+                        w.psi.normalize();
+                        self.relax_sampled(w, q, wave.duration(), rng);
+                        cursor[q] += wave.duration();
                     }
                 }
                 Block::Gate2Q {
@@ -112,27 +249,43 @@ impl<'a> TrajectoryExecutor<'a> {
                     for &q in &[c, t] {
                         let idle = start - cursor[q];
                         if idle > 0 {
-                            self.relax_sampled(&mut psi, q, idle, rng);
+                            self.relax_sampled(w, q, idle, rng);
                         }
                         cursor[q] = start;
                     }
-                    let pair = self
-                        .device
-                        .pair_exec(*control, *target)
-                        .expect("coupled pair");
-                    let u_ch = self.device.control_channel(*control, *target).unwrap();
+                    let pair = self.device.pair_exec(*control, *target).ok_or(
+                        ExecError::UncoupledPair {
+                            control: *control,
+                            target: *target,
+                        },
+                    )?;
+                    let u_ch = self.device.control_channel(*control, *target).ok_or(
+                        ExecError::MissingControlChannel {
+                            control: *control,
+                            target: *target,
+                        },
+                    )?;
                     let schedule = self.jitter_schedule(schedule, rng);
-                    let r = pair.integrate(
-                        &schedule,
-                        Channel::Drive(*control),
-                        Channel::Drive(*target),
-                        u_ch,
-                    );
-                    psi.apply_kraus_branch(&r.unitary, &[c, t]);
-                    psi.normalize();
+                    let r = if self.reference {
+                        pair.integrate_ref(
+                            &schedule,
+                            Channel::Drive(*control),
+                            Channel::Drive(*target),
+                            u_ch,
+                        )
+                    } else {
+                        pair.integrate(
+                            &schedule,
+                            Channel::Drive(*control),
+                            Channel::Drive(*target),
+                            u_ch,
+                        )
+                    };
+                    self.apply(w, &r.unitary, &[c, t]);
+                    w.psi.normalize();
                     let dur = schedule.duration();
-                    self.relax_sampled(&mut psi, c, dur, rng);
-                    self.relax_sampled(&mut psi, t, dur, rng);
+                    self.relax_sampled(w, c, dur, rng);
+                    self.relax_sampled(w, t, dur, rng);
                     cursor[c] += dur;
                     cursor[t] += dur;
                 }
@@ -142,37 +295,74 @@ impl<'a> TrajectoryExecutor<'a> {
         for (q, &at) in cursor.iter().enumerate().take(n) {
             let idle = end - at;
             if idle > 0 {
-                self.relax_sampled(&mut psi, q, idle, rng);
+                self.relax_sampled(w, q, idle, rng);
             }
         }
-        psi
+        Ok(())
     }
 
     /// Samples one branch of the thermal-relaxation channels for a qubit
     /// over `samples` of wall-clock time.
+    ///
+    /// Fast path: every branch of a stage is weighed in place
+    /// (`‖Kψ‖²` via [`KernelScratch::branch_weight`]) and only the chosen
+    /// operator is applied — no per-branch clone of the `O(2ⁿ)` state.
+    /// Reference path: the original clone-per-branch route.
     fn relax_sampled(
         &self,
-        psi: &mut StateVector,
+        w: &mut TrajWorker,
         qubit: usize,
         samples: u64,
         rng: &mut impl Rng,
     ) {
         let p = self.device.qubit(qubit as u32);
         let t = samples as f64 * DT;
-        for stage in channels::thermal_relaxation(t, p.t1, p.t2) {
-            // Sample one Kraus branch with the correct probabilities.
-            let mut weights = Vec::with_capacity(stage.len());
-            let mut branches = Vec::with_capacity(stage.len());
-            for k in &stage {
-                let mut trial = psi.clone();
-                let prob = trial.apply_kraus_branch(k, &[qubit]);
-                weights.push(prob.max(0.0));
-                branches.push(trial);
+        let TrajWorker {
+            psi,
+            scratch,
+            weights,
+            relax,
+            ..
+        } = w;
+        let pos = match relax
+            .iter()
+            .position(|(q, s, _)| *q == qubit && *s == samples)
+        {
+            Some(pos) => pos,
+            None => {
+                relax.push((qubit, samples, channels::thermal_relaxation(t, p.t1, p.t2)));
+                relax.len() - 1
             }
-            let choice = quant_math::categorical(rng, &weights);
-            let mut chosen = branches.swap_remove(choice);
-            chosen.normalize();
-            *psi = chosen;
+        };
+        for stage in &relax[pos].2 {
+            if self.reference {
+                // Trial-apply every branch to a cloned state, then keep the
+                // sampled one.
+                let mut probs = Vec::with_capacity(stage.len());
+                let mut branches = Vec::with_capacity(stage.len());
+                for k in stage {
+                    let mut trial = psi.clone();
+                    let prob = trial.apply_kraus_branch_ref(k, &[qubit]);
+                    probs.push(prob.max(0.0));
+                    branches.push(trial);
+                }
+                let choice = quant_math::categorical(rng, &probs);
+                let mut chosen = branches.swap_remove(choice);
+                chosen.normalize();
+                *psi = chosen;
+            } else {
+                weights.clear();
+                for k in stage {
+                    weights.push(
+                        scratch
+                            .branch_weight(psi.amplitudes(), k, &[qubit], psi.dims())
+                            .max(0.0),
+                    );
+                }
+                let choice = quant_math::categorical(rng, weights);
+                psi.apply_unitary_scratch(&stage[choice], &[qubit], scratch);
+                psi.normalize();
+            }
         }
     }
 

@@ -21,7 +21,7 @@
 //! X pulses, target Rx90, virtual-Z frames — evolves as one 4×4 propagator.
 
 use crate::params::{CrParams, TransmonParams, DT};
-use quant_math::{C64, CMat, PropagatorScratch};
+use quant_math::{mul9_into, unitary_exp9_into, C64, CMat, PropagatorScratch};
 use quant_pulse::{Channel, Instruction, Schedule};
 use quant_sim::gates;
 use std::collections::BTreeMap;
@@ -126,13 +126,46 @@ impl CrPair {
     /// * `cr_channel` — the control channel carrying CR pulses.
     ///
     /// Pulses are processed in start-time order; overlapping `Play`s on
-    /// different channels are integrated jointly sample-by-sample.
+    /// different channels are integrated jointly sample-by-sample. Runs of
+    /// bitwise-identical drive samples — the flat top of a `GaussianSquare`
+    /// CR pulse, delays, dead time between pulses — have a constant
+    /// Hamiltonian, so the whole run is advanced with a single
+    /// `exp(-i·H·m·dt)` (one scaling-and-squaring pass, `O(log m)` products)
+    /// instead of `m` per-sample exponentials. Echoed-CR schedules are
+    /// mostly flat top, which makes this the difference between the
+    /// trajectory executor being integration-bound or not.
     pub fn integrate(
         &self,
         schedule: &Schedule,
         control_drive: Channel,
         target_drive: Channel,
         cr_channel: Channel,
+    ) -> PairFrameResult {
+        self.integrate_impl(schedule, control_drive, target_drive, cr_channel, true)
+    }
+
+    /// The reference integrator: one exponential and one product per
+    /// sample, with no constant-run compression. Bitwise-faithful to the
+    /// original per-sample loop; kept as the equivalence-test and perfsuite
+    /// baseline (compressed runs regroup the floating-point products, so
+    /// [`CrPair::integrate`] agrees only to integrator tolerance).
+    pub fn integrate_ref(
+        &self,
+        schedule: &Schedule,
+        control_drive: Channel,
+        target_drive: Channel,
+        cr_channel: Channel,
+    ) -> PairFrameResult {
+        self.integrate_impl(schedule, control_drive, target_drive, cr_channel, false)
+    }
+
+    fn integrate_impl(
+        &self,
+        schedule: &Schedule,
+        control_drive: Channel,
+        target_drive: Channel,
+        cr_channel: Channel,
+        compress: bool,
     ) -> PairFrameResult {
         // Collect, per channel, the (start, waveform) plays plus frame
         // bookkeeping in time order.
@@ -218,45 +251,145 @@ impl CrPair {
         let mut h_static = h0;
         h_static.add_scaled_assign(&zz, C64::real(zz_static));
 
-        // All buffers live outside the sample loop; each step is a
-        // copy + a handful of AXPYs + one Taylor propagator, with no
-        // heap allocation.
-        let mut h = CMat::zeros(9, 9);
-        let mut step = CMat::zeros(9, 9);
-        let mut next = CMat::zeros(9, 9);
-        let mut scratch = PropagatorScratch::new(9);
+        let om_u_x = TAU * self.cr.zx_hz_per_amp / 2.0;
+        let om_u_ix = TAU * self.cr.ix_hz_per_amp / 2.0;
+        let om_u_zi = TAU * self.cr.zi_hz_per_amp / 2.0;
 
-        let mut u = CMat::identity(9);
-        for k in 0..total {
-            let dc = drive_c[k];
-            let dt_ = drive_t[k];
-            let du = drive_u[k];
-            h.copy_from(&h_static);
-            if dc != C64::ZERO {
-                h.add_scaled_assign(&xc3, C64::real(om_c / 2.0 * dc.re));
-                h.add_scaled_assign(&yc3, C64::real(om_c / 2.0 * dc.im));
+        let u = if compress {
+            // Fast path: the whole propagation runs on 9×9 stack arrays
+            // (the two-qutrit analogue of the qutrit `expm3` route), and
+            // runs of bitwise-identical drive samples advance with a single
+            // `exp(-i·H·m·dt)`.
+            let to9 = |m: &CMat| -> [C64; 81] {
+                let mut a = [C64::ZERO; 81];
+                a.copy_from_slice(m.as_slice());
+                a
+            };
+            let hs9 = to9(&h_static);
+            let (zx9, zy9, ix9, iy9, zi9) =
+                (to9(&zx), to9(&zy), to9(&ix), to9(&iy), to9(&zi));
+            let (xc9, yc9, xt9, yt9) = (to9(&xc3), to9(&yc3), to9(&xt3), to9(&yt3));
+            let axpy = |y: &mut [C64; 81], x: &[C64; 81], s: f64| {
+                let k = C64::real(s);
+                for (yv, &xv) in y.iter_mut().zip(x) {
+                    *yv += xv * k;
+                }
+            };
+            let mut h9 = [C64::ZERO; 81];
+            let mut next9 = [C64::ZERO; 81];
+            let mut u9 = [C64::ZERO; 81];
+            for i in 0..9 {
+                u9[10 * i] = C64::ONE;
             }
-            if dt_ != C64::ZERO {
-                h.add_scaled_assign(&xt3, C64::real(om_t / 2.0 * dt_.re));
-                h.add_scaled_assign(&yt3, C64::real(om_t / 2.0 * dt_.im));
+            // Step-propagator memo: schedules repeat drive samples exactly
+            // (the echo X pulse plays twice, pulse edges rise and fall
+            // through mirrored values), and `exp` is a pure function of the
+            // drive triple and the run length, so repeats are a lookup
+            // keyed on the sample bit patterns instead of a fresh
+            // exponential. Bitwise-conservative: a miss only costs the
+            // exponential we would have computed anyway.
+            let mut memo: BTreeMap<([u64; 6], u32), usize> = BTreeMap::new();
+            let mut steps: Vec<[C64; 81]> = Vec::new();
+            let mut k = 0usize;
+            while k < total {
+                let dc = drive_c[k];
+                let dt_ = drive_t[k];
+                let du = drive_u[k];
+                // Constant-drive run starting at `k`: flat pulse tops,
+                // delays and dead time all have a constant Hamiltonian.
+                let mut run = 1usize;
+                while k + run < total
+                    && drive_c[k + run] == dc
+                    && drive_t[k + run] == dt_
+                    && drive_u[k + run] == du
+                {
+                    run += 1;
+                }
+                let key = (
+                    [
+                        dc.re.to_bits(),
+                        dc.im.to_bits(),
+                        dt_.re.to_bits(),
+                        dt_.im.to_bits(),
+                        du.re.to_bits(),
+                        du.im.to_bits(),
+                    ],
+                    run as u32,
+                );
+                let idx = match memo.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        h9.copy_from_slice(&hs9);
+                        if dc != C64::ZERO {
+                            axpy(&mut h9, &xc9, om_c / 2.0 * dc.re);
+                            axpy(&mut h9, &yc9, om_c / 2.0 * dc.im);
+                        }
+                        if dt_ != C64::ZERO {
+                            axpy(&mut h9, &xt9, om_t / 2.0 * dt_.re);
+                            axpy(&mut h9, &yt9, om_t / 2.0 * dt_.im);
+                        }
+                        if du != C64::ZERO {
+                            axpy(&mut h9, &zx9, om_u_x * du.re);
+                            axpy(&mut h9, &zy9, om_u_x * du.im);
+                            axpy(&mut h9, &ix9, om_u_ix * du.re);
+                            axpy(&mut h9, &iy9, om_u_ix * du.im);
+                            // The ZI term is the control's own AC-Stark
+                            // shift: it scales with the drive *power
+                            // envelope* (phase- and sign-independent),
+                            // which is exactly why the echo's X flip
+                            // refocuses it.
+                            axpy(&mut h9, &zi9, om_u_zi * du.abs());
+                        }
+                        let mut step9 = [C64::ZERO; 81];
+                        unitary_exp9_into(&h9, DT * run as f64, &mut step9);
+                        steps.push(step9);
+                        memo.insert(key, steps.len() - 1);
+                        steps.len() - 1
+                    }
+                };
+                mul9_into(&steps[idx], &u9, &mut next9);
+                std::mem::swap(&mut u9, &mut next9);
+                k += run;
             }
-            if du != C64::ZERO {
-                let a_re = du.re;
-                let a_im = du.im;
-                h.add_scaled_assign(&zx, C64::real(TAU * self.cr.zx_hz_per_amp / 2.0 * a_re));
-                h.add_scaled_assign(&zy, C64::real(TAU * self.cr.zx_hz_per_amp / 2.0 * a_im));
-                h.add_scaled_assign(&ix, C64::real(TAU * self.cr.ix_hz_per_amp / 2.0 * a_re));
-                h.add_scaled_assign(&iy, C64::real(TAU * self.cr.ix_hz_per_amp / 2.0 * a_im));
-                // The ZI term is the control's own AC-Stark shift: it
-                // scales with the drive *power envelope* (phase- and
-                // sign-independent), which is exactly why the echo's X
-                // flip refocuses it.
-                h.add_scaled_assign(&zi, C64::real(TAU * self.cr.zi_hz_per_amp / 2.0 * du.abs()));
+            let mut u = CMat::zeros(9, 9);
+            u.as_mut_slice().copy_from_slice(&u9);
+            u
+        } else {
+            // Reference path: the original per-sample heap-matrix loop —
+            // a copy + a handful of AXPYs + one Taylor propagator per
+            // sample, with no heap allocation after warm-up.
+            let mut h = CMat::zeros(9, 9);
+            let mut step = CMat::zeros(9, 9);
+            let mut next = CMat::zeros(9, 9);
+            let mut scratch = PropagatorScratch::new(9);
+
+            let mut u = CMat::identity(9);
+            for k in 0..total {
+                let dc = drive_c[k];
+                let dt_ = drive_t[k];
+                let du = drive_u[k];
+                h.copy_from(&h_static);
+                if dc != C64::ZERO {
+                    h.add_scaled_assign(&xc3, C64::real(om_c / 2.0 * dc.re));
+                    h.add_scaled_assign(&yc3, C64::real(om_c / 2.0 * dc.im));
+                }
+                if dt_ != C64::ZERO {
+                    h.add_scaled_assign(&xt3, C64::real(om_t / 2.0 * dt_.re));
+                    h.add_scaled_assign(&yt3, C64::real(om_t / 2.0 * dt_.im));
+                }
+                if du != C64::ZERO {
+                    h.add_scaled_assign(&zx, C64::real(om_u_x * du.re));
+                    h.add_scaled_assign(&zy, C64::real(om_u_x * du.im));
+                    h.add_scaled_assign(&ix, C64::real(om_u_ix * du.re));
+                    h.add_scaled_assign(&iy, C64::real(om_u_ix * du.im));
+                    h.add_scaled_assign(&zi, C64::real(om_u_zi * du.abs()));
+                }
+                scratch.unitary_exp_into(&h, DT, &mut step);
+                step.mul_into(&u, &mut next);
+                std::mem::swap(&mut u, &mut next);
             }
-            scratch.unitary_exp_into(&h, DT, &mut step);
-            step.mul_into(&u, &mut next);
-            std::mem::swap(&mut u, &mut next);
-        }
+            u
+        };
 
         PairFrameResult {
             unitary: qubit_block_of(&u),
@@ -516,6 +649,53 @@ mod tests {
         assert!((theta1 - 0.5).abs() < 0.03, "θ₁ = {theta1}");
         assert!((theta2 - 1.0).abs() < 0.06, "θ₂ = {theta2}");
         assert!((theta2 / theta1 - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn compressed_integration_matches_per_sample_reference() {
+        // The echoed-CR schedule is the worst case the executor feeds the
+        // integrator: long flat tops (compressed into single exponentials)
+        // interleaved with Gaussian edges (stepped per sample). Fast and
+        // reference routes must agree to integrator tolerance on the full
+        // 9×9 propagator, not just the qubit block.
+        let p = pair();
+        let theta = FRAC_PI_2;
+        let gs = cr_pulse(&p, theta / 2.0, 0.3);
+        let xc = x_pulse(&p.control);
+        let barrier = [Channel::Drive(0), Channel::Control(0)];
+        let mut s = Schedule::new("echo");
+        let steps: Vec<(quant_pulse::Waveform, Channel)> = vec![
+            (gs.waveform("cr+"), Channel::Control(0)),
+            (xc.clone(), Channel::Drive(0)),
+            (gs.waveform("cr-").scaled(-1.0), Channel::Control(0)),
+            (xc, Channel::Drive(0)),
+        ];
+        for (w, ch) in steps {
+            s.append_after(
+                Instruction::Play {
+                    waveform: w,
+                    channel: ch,
+                },
+                &barrier,
+            );
+        }
+        let fast = p.integrate(
+            &s,
+            Channel::Drive(0),
+            Channel::Drive(1),
+            Channel::Control(0),
+        );
+        let slow = p.integrate_ref(
+            &s,
+            Channel::Drive(0),
+            Channel::Drive(1),
+            Channel::Control(0),
+        );
+        let d = fast.full_unitary.max_abs_diff(&slow.full_unitary);
+        assert!(d < 1e-9, "compressed vs per-sample diff = {d:e}");
+        assert_eq!(fast.duration, slow.duration);
+        assert_eq!(fast.control_frame, slow.control_frame);
+        assert_eq!(fast.target_frame, slow.target_frame);
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod rng;
 
 pub use complex::C64;
 pub use eig::{eigh, expm, unitary_exp, HermitianEig};
-pub use prop::PropagatorScratch;
+pub use prop::{mul9_into, unitary_exp9_into, PropagatorScratch};
 pub use fit::{fit_cosine, fit_exp_decay, linear_least_squares, CosineFit, ExpDecayFit};
 pub use mat::CMat;
 pub use optimize::{

@@ -204,6 +204,88 @@ fn expm3(a: &[C64], squarings: u32, out: &mut [C64]) {
     out[..9].copy_from_slice(&sum);
 }
 
+/// `out = a · b` for row-major 9×9 operands on stack arrays.
+///
+/// The two-qutrit pair integrator spends essentially all of its time in
+/// 9×9 products; with the dimensions known at compile time the row
+/// accumulator stays in registers and the product runs well ahead of the
+/// generic heap-matrix loop. Same `i·k·j` accumulation order as
+/// [`crate::CMat::mul_into`].
+pub fn mul9_into(a: &[C64; 81], b: &[C64; 81], out: &mut [C64; 81]) {
+    for r in 0..9 {
+        let ar = &a[9 * r..9 * r + 9];
+        let mut acc = [C64::ZERO; 9];
+        for (k, &ak) in ar.iter().enumerate() {
+            // Drive Hamiltonians (and their low Taylor powers) are sparse;
+            // skipping zero coefficients mirrors the generic heap loop.
+            if ak == C64::ZERO {
+                continue;
+            }
+            let br = &b[9 * k..9 * k + 9];
+            for (x, &bv) in acc.iter_mut().zip(br) {
+                *x += ak * bv;
+            }
+        }
+        out[9 * r..9 * r + 9].copy_from_slice(&acc);
+    }
+}
+
+/// Writes `exp(-i·h·t)` of a row-major Hermitian 9×9 generator into `out`,
+/// entirely on stack arrays — the two-qutrit analogue of the 3×3 fast path
+/// inside [`PropagatorScratch::unitary_exp_into`]. Same degree-12
+/// Paterson–Stockmeyer evaluation and scaling-and-squaring policy, so the
+/// result agrees with the heap-matrix route to rounding.
+pub fn unitary_exp9_into(h: &[C64; 81], t: f64, out: &mut [C64; 81]) {
+    let mut norm2 = 0.0;
+    for &z in h.iter() {
+        norm2 += z.norm_sqr();
+    }
+    let norm = norm2.sqrt() * t.abs();
+    let squarings = if norm > 0.5 {
+        (norm / 0.5).log2().ceil().max(0.0) as u32
+    } else {
+        0
+    };
+    let factor = C64::imag(-t / f64::powi(2.0, squarings as i32));
+    let mut a = [C64::ZERO; 81];
+    for (x, &z) in a.iter_mut().zip(h.iter()) {
+        *x = z * factor;
+    }
+    expm9(&a, squarings, out);
+}
+
+/// Degree-12 Paterson–Stockmeyer `exp` on 9×9 stack arrays; `a` is the
+/// already-scaled generator, `squarings` undoes the scaling at the end.
+fn expm9(a: &[C64; 81], squarings: u32, out: &mut [C64; 81]) {
+    let c = &INV_FACTORIAL;
+    let m = *a;
+    let mut m2 = [C64::ZERO; 81];
+    mul9_into(&m, &m, &mut m2);
+    let mut m3 = [C64::ZERO; 81];
+    mul9_into(&m2, &m, &mut m3);
+    // Horner in M³, innermost group first: start from c₁₂·I.
+    let mut sum = [C64::ZERO; 81];
+    for i in 0..9 {
+        sum[10 * i] = C64::real(c[12]);
+    }
+    let mut tmp = [C64::ZERO; 81];
+    for j in (0..=3).rev() {
+        mul9_into(&sum, &m3, &mut tmp);
+        sum = tmp;
+        for i in 0..81 {
+            sum[i] += m[i] * C64::real(c[3 * j + 1]) + m2[i] * C64::real(c[3 * j + 2]);
+        }
+        for i in 0..9 {
+            sum[10 * i] += C64::real(c[3 * j]);
+        }
+    }
+    for _ in 0..squarings {
+        mul9_into(&sum, &sum, &mut tmp);
+        sum = tmp;
+    }
+    *out = sum;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +342,57 @@ mod tests {
         scratch.unitary_exp_into(&h2, 1.3, &mut out);
         scratch.unitary_exp_into(&h1, 0.7, &mut out);
         assert!(out.max_abs_diff(&first) < 1e-15, "scratch leaked state");
+    }
+
+    #[test]
+    fn stack_9x9_exponential_matches_heap_route() {
+        // A CR-like Hermitian 9×9 generator: anharmonic diagonal plus
+        // off-diagonal drive couplings, at both single-sample and
+        // compressed-run (many-squaring) time steps.
+        let mut h = CMat::zeros(9, 9);
+        for i in 0..9 {
+            h[(i, i)] = C64::real(-0.3 * (i as f64 - 4.0));
+        }
+        for i in 0..8 {
+            h[(i, i + 1)] = C64::new(0.2, 0.05 * i as f64);
+            h[(i + 1, i)] = h[(i, i + 1)].conj();
+        }
+        let mut scratch = PropagatorScratch::new(9);
+        let mut heap = CMat::zeros(9, 9);
+        let mut h9 = [C64::ZERO; 81];
+        h9.copy_from_slice(h.as_slice());
+        let mut stack = [C64::ZERO; 81];
+        for &t in &[0.22, 1.0, 513.7] {
+            scratch.unitary_exp_into(&h, t, &mut heap);
+            unitary_exp9_into(&h9, t, &mut stack);
+            let mut worst = 0.0f64;
+            for (i, &z) in stack.iter().enumerate() {
+                worst = worst.max((z - heap.as_slice()[i]).abs());
+            }
+            assert!(worst < 1e-11, "t = {t}: stack vs heap diff {worst:e}");
+        }
+    }
+
+    #[test]
+    fn stack_9x9_product_matches_generic() {
+        let mut rng_state = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng_state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a = CMat::from_fn(9, 9, |_, _| C64::new(next(), next()));
+        let b = CMat::from_fn(9, 9, |_, _| C64::new(next(), next()));
+        let mut want = CMat::zeros(9, 9);
+        a.mul_into(&b, &mut want);
+        let mut a9 = [C64::ZERO; 81];
+        a9.copy_from_slice(a.as_slice());
+        let mut b9 = [C64::ZERO; 81];
+        b9.copy_from_slice(b.as_slice());
+        let mut got = [C64::ZERO; 81];
+        mul9_into(&a9, &b9, &mut got);
+        for (i, &z) in got.iter().enumerate() {
+            assert!((z - want.as_slice()[i]).abs() < 1e-13);
+        }
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //!   subspace gates.
 //! * [`channels`] — amplitude damping, dephasing, depolarizing, thermal
 //!   relaxation, leakage and qutrit channels.
-//! * [`kernels`] — in-place stride-based superoperator kernels (the fast
-//!   path behind [`DensityMatrix`]; [`embed`] is the reference they are
-//!   checked against).
+//! * [`kernels`] — in-place stride-based kernels: the superoperator fast
+//!   path behind [`DensityMatrix`] ([`embed`] is its reference) and the
+//!   state-vector fast path behind [`StateVector`] (its original skip-scan
+//!   apply is retained as the `_ref` reference route).
 //!
 //! # Example
 //!

@@ -11,6 +11,7 @@
 //! least-significant digit of the *gate's* index space, consistent with the
 //! matrices in [`crate::gates`].
 
+use crate::kernels::KernelScratch;
 use quant_math::{C64, CMat};
 use rand::Rng;
 
@@ -92,11 +93,37 @@ impl StateVector {
 
     /// Applies a unitary to the listed target subsystems.
     ///
+    /// Runs the in-place stride kernel with a call-local scratch; when the
+    /// call sits in a hot loop (a trajectory sampler, a repeated sweep),
+    /// thread a shared [`KernelScratch`] through
+    /// [`StateVector::apply_unitary_scratch`] instead so the index plan is
+    /// built once.
+    ///
     /// # Panics
     ///
     /// Panics when the matrix dimension does not match the product of the
     /// target dimensions, or targets repeat / are out of range.
     pub fn apply_unitary(&mut self, u: &CMat, targets: &[usize]) {
+        let mut scratch = KernelScratch::new();
+        self.apply_unitary_scratch(u, targets, &mut scratch);
+    }
+
+    /// [`StateVector::apply_unitary`] with a caller-owned scratch:
+    /// allocation-free once the scratch has seen this `(targets, dims)`
+    /// pair.
+    pub fn apply_unitary_scratch(
+        &mut self,
+        u: &CMat,
+        targets: &[usize],
+        scratch: &mut KernelScratch,
+    ) {
+        scratch.apply_state(&mut self.amps, u, targets, &self.dims);
+    }
+
+    /// Reference implementation of [`StateVector::apply_unitary`]: the
+    /// original skip-scan base enumeration with per-call buffers. Kept for
+    /// kernel cross-checks (`tests/kernel_equivalence.rs`).
+    pub fn apply_unitary_ref(&mut self, u: &CMat, targets: &[usize]) {
         let gate_dim: usize = targets.iter().map(|&t| self.dims[t]).product();
         assert!(u.is_square() && u.rows() == gate_dim, "gate dimension mismatch");
         for (i, &t) in targets.iter().enumerate() {
@@ -151,10 +178,36 @@ impl StateVector {
         self.amps.iter().map(|a| a.norm_sqr()).collect()
     }
 
+    /// Resets to `|0…0⟩` in place, reusing the amplitude allocation — the
+    /// per-trajectory reset of a reused worker state.
+    pub fn reset_zero(&mut self) {
+        self.amps.fill(C64::ZERO);
+        self.amps[0] = C64::ONE;
+    }
+
     /// ⟨ψ|O|ψ⟩ for a Hermitian operator acting on the listed targets.
     pub fn expectation(&self, op: &CMat, targets: &[usize]) -> f64 {
+        let mut scratch = KernelScratch::new();
+        self.expectation_scratch(op, targets, &mut scratch)
+    }
+
+    /// [`StateVector::expectation`] with a caller-owned scratch — no clone,
+    /// no state transform, O(d·k²).
+    pub fn expectation_scratch(
+        &self,
+        op: &CMat,
+        targets: &[usize],
+        scratch: &mut KernelScratch,
+    ) -> f64 {
+        scratch.expectation_state(&self.amps, op, targets, &self.dims).re
+    }
+
+    /// Reference implementation of [`StateVector::expectation`]: clone,
+    /// transform via the reference apply, inner product. Kept for kernel
+    /// cross-checks.
+    pub fn expectation_ref(&self, op: &CMat, targets: &[usize]) -> f64 {
         let mut transformed = self.clone();
-        transformed.apply_unitary_unchecked(op, targets);
+        transformed.apply_unitary_ref(op, targets);
         let inner: C64 = self
             .amps
             .iter()
@@ -162,13 +215,6 @@ impl StateVector {
             .map(|(a, b)| a.conj() * *b)
             .sum();
         inner.re
-    }
-
-    /// Like [`StateVector::apply_unitary`] but without the unitarity
-    /// implication — used internally for expectation values of Hermitian
-    /// operators.
-    fn apply_unitary_unchecked(&mut self, m: &CMat, targets: &[usize]) {
-        self.apply_unitary(m, targets);
     }
 
     /// The state's 2-norm (1 for physical states; less after applying a
@@ -195,7 +241,31 @@ impl StateVector {
     /// renormalizing. Combine with [`StateVector::normalize`] for
     /// trajectory sampling.
     pub fn apply_kraus_branch(&mut self, k: &CMat, targets: &[usize]) -> f64 {
-        self.apply_unitary(k, targets);
+        let mut scratch = KernelScratch::new();
+        self.apply_kraus_branch_scratch(k, targets, &mut scratch)
+    }
+
+    /// [`StateVector::apply_kraus_branch`] with a caller-owned scratch.
+    ///
+    /// To *weigh* a branch without committing to it, use
+    /// [`KernelScratch::branch_weight`] on [`StateVector::amplitudes`] —
+    /// that is how the trajectory executor samples channels without
+    /// cloning the state per branch.
+    pub fn apply_kraus_branch_scratch(
+        &mut self,
+        k: &CMat,
+        targets: &[usize],
+        scratch: &mut KernelScratch,
+    ) -> f64 {
+        scratch.apply_state(&mut self.amps, k, targets, &self.dims);
+        let n = self.norm();
+        n * n
+    }
+
+    /// Reference implementation of [`StateVector::apply_kraus_branch`] via
+    /// the skip-scan apply. Kept for kernel cross-checks.
+    pub fn apply_kraus_branch_ref(&mut self, k: &CMat, targets: &[usize]) -> f64 {
+        self.apply_unitary_ref(k, targets);
         let n = self.norm();
         n * n
     }

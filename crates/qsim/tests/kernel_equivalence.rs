@@ -162,6 +162,114 @@ fn rng_index(rng: &mut StdRng, n: usize) -> usize {
     (normal(rng, 0.0, 100.0).abs() as usize) % n
 }
 
+/// A random normalized state over the mixed register, built through the
+/// reference path only.
+fn random_state(rng: &mut StdRng) -> quant_sim::StateVector {
+    let total: usize = DIMS.iter().product();
+    let mut psi = quant_sim::StateVector::zero(&DIMS);
+    psi.apply_unitary_ref(&random_unitary(rng, total), &[0, 1, 2]);
+    psi
+}
+
+#[test]
+fn state_vector_unitary_kernel_matches_skip_scan_reference() {
+    // The trajectory executor's hot path: random (sub-)unitaries through
+    // `apply_unitary_scratch` versus the retained skip-scan reference, on
+    // every target tuple over the mixed qubit/qutrit register.
+    let mut rng = seeded(0x57A7E);
+    let mut scratch = KernelScratch::new();
+    for targets in target_sets() {
+        for round in 0..3 {
+            let u = random_unitary(&mut rng, gate_dim(&targets));
+            let mut fast = random_state(&mut rng);
+            let mut slow = fast.clone();
+            fast.apply_unitary_scratch(&u, &targets, &mut scratch);
+            slow.apply_unitary_ref(&u, &targets);
+            let diff = fast
+                .amplitudes()
+                .iter()
+                .zip(slow.amplitudes())
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                diff < 1e-12,
+                "targets {targets:?} round {round}: diff {diff:.3e}"
+            );
+            assert!((fast.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn state_vector_kraus_branch_kernel_matches_reference() {
+    // Branch application must agree on the post-branch state *and* the
+    // returned weight ‖Kψ‖² — the weight drives the trajectory executor's
+    // branch sampling, so a drift here would bias the ensemble.
+    let mut rng = seeded(0xB4A9C4);
+    let mut scratch = KernelScratch::new();
+    for targets in target_sets() {
+        for ops in [2usize, 4] {
+            let kraus = random_kraus(&mut rng, gate_dim(&targets), ops);
+            for k in &kraus {
+                let mut fast = random_state(&mut rng);
+                let mut slow = fast.clone();
+                let wf = fast.apply_kraus_branch_scratch(k, &targets, &mut scratch);
+                let ws = slow.apply_kraus_branch_ref(k, &targets);
+                assert!(
+                    (wf - ws).abs() < 1e-12,
+                    "targets {targets:?}: weight {wf} vs {ws}"
+                );
+                let diff = fast
+                    .amplitudes()
+                    .iter()
+                    .zip(slow.amplitudes())
+                    .map(|(a, b)| (*a - *b).abs())
+                    .fold(0.0f64, f64::max);
+                assert!(diff < 1e-12, "targets {targets:?}: diff {diff:.3e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn branch_weight_matches_actual_branch_application() {
+    // The in-place weigher must predict exactly the weight the reference
+    // branch application reports, without touching the state.
+    let mut rng = seeded(0x3E1647);
+    let mut scratch = KernelScratch::new();
+    for targets in target_sets() {
+        let kraus = random_kraus(&mut rng, gate_dim(&targets), 3);
+        let psi = random_state(&mut rng);
+        let before: Vec<C64> = psi.amplitudes().to_vec();
+        for k in &kraus {
+            let w = scratch.branch_weight(psi.amplitudes(), k, &targets, psi.dims());
+            let mut applied = psi.clone();
+            let w_ref = applied.apply_kraus_branch_ref(k, &targets);
+            assert!(
+                (w - w_ref).abs() < 1e-12,
+                "targets {targets:?}: weight {w} vs applied {w_ref}"
+            );
+        }
+        assert_eq!(psi.amplitudes(), &before[..], "weigher mutated the state");
+    }
+}
+
+#[test]
+fn state_vector_expectation_kernel_matches_reference() {
+    let mut rng = seeded(0xE59EC7);
+    let mut scratch = KernelScratch::new();
+    for targets in target_sets() {
+        let op = random_hermitian(&mut rng, gate_dim(&targets));
+        let psi = random_state(&mut rng);
+        let fast = psi.expectation_scratch(&op, &targets, &mut scratch);
+        let slow = psi.expectation_ref(&op, &targets);
+        assert!(
+            (fast - slow).abs() < 1e-10,
+            "targets {targets:?}: {fast} vs {slow}"
+        );
+    }
+}
+
 #[test]
 fn state_vector_and_density_kernels_agree_on_circuits() {
     // Pure-state evolution through the stride kernels must match the
