@@ -16,12 +16,33 @@
 //! ```
 //!
 //! Example: `cargo run --release -p repro-bench --bin opc -- --run bell.qasm`
+//!
+//! Two service subcommands turn the same pipeline into a job engine
+//! (see `quant-service`):
+//!
+//! ```text
+//! opc serve  [--addr HOST:PORT] [--workers N] [--queue N]
+//! opc submit [--addr HOST:PORT] [--device armonk|almaden] [--qubits N]
+//!            [--device-seed N] [--seed N] [--shots N] [--noiseless]
+//!            [--standard] program.qasm [more.qasm ...]
+//! ```
+//!
+//! `opc serve` runs a `CompileService` behind a line-oriented TCP
+//! protocol (one thread per connection, the service's own worker pool
+//! and queue behind it). `opc submit` sends jobs to such a server — or,
+//! without `--addr`, runs them through an in-process service, so the
+//! request path is testable with no socket at all.
 
 use pulse_compiler::{CompileMode, Compiler};
 use quant_circuit::qasm;
 use quant_device::{calibrate, DeviceModel, PulseExecutor, DT};
 use quant_math::seeded;
-use std::io::Read;
+use quant_service::{
+    wire, CompileService, DeviceKind, DeviceSpec, JobSpec, ServiceConfig,
+};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 
 struct Args {
     path: Option<String>,
@@ -71,7 +92,294 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// `opc serve`: a `CompileService` behind the wire protocol.
+fn cmd_serve(rest: &[String]) -> ! {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = ServiceConfig::default();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let take = |it: &mut std::slice::Iter<'_, String>, what: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("opc serve: {what} needs a value");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match arg.as_str() {
+            "--addr" => addr = take(&mut iter, "--addr"),
+            "--workers" => match take(&mut iter, "--workers").parse() {
+                Ok(n) => cfg.workers = n,
+                Err(_) => {
+                    eprintln!("opc serve: --workers needs an integer");
+                    std::process::exit(2);
+                }
+            },
+            "--queue" => match take(&mut iter, "--queue").parse() {
+                Ok(n) => cfg.queue_capacity = n,
+                Err(_) => {
+                    eprintln!("opc serve: --queue needs an integer");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("opc serve: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let service = match CompileService::new(cfg) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("opc serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("opc serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "opc serve: listening on {addr} ({} workers, queue {})",
+        service.config().workers,
+        service.config().queue_capacity
+    );
+    for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("opc serve: accept failed: {e}");
+                continue;
+            }
+        };
+        let service = Arc::clone(&service);
+        let handle = std::thread::Builder::new()
+            .name("opc-conn".into())
+            .spawn(move || {
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "?".into());
+                let reader_stream = match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("opc serve [{peer}]: clone failed: {e}");
+                        return;
+                    }
+                };
+                let mut reader = BufReader::new(reader_stream);
+                let mut writer = BufWriter::new(stream);
+                if let Err(e) = wire::serve_connection(&mut reader, &mut writer, &service) {
+                    eprintln!("opc serve [{peer}]: {e}");
+                }
+            });
+        if let Err(e) = handle {
+            eprintln!("opc serve: spawn failed: {e}");
+        }
+    }
+    std::process::exit(0);
+}
+
+struct SubmitArgs {
+    addr: Option<String>,
+    device: DeviceKind,
+    qubits: Option<u32>,
+    device_seed: u64,
+    seed: u64,
+    shots: usize,
+    noisy: bool,
+    mode: CompileMode,
+    paths: Vec<String>,
+}
+
+fn parse_submit_args(rest: &[String]) -> Result<SubmitArgs, String> {
+    let mut args = SubmitArgs {
+        addr: None,
+        device: DeviceKind::Almaden,
+        qubits: None,
+        device_seed: 7,
+        seed: 7,
+        shots: 4000,
+        noisy: true,
+        mode: CompileMode::Optimized,
+        paths: Vec::new(),
+    };
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = Some(take("--addr")?),
+            "--device" => {
+                let v = take("--device")?;
+                args.device = DeviceKind::parse(&v)
+                    .ok_or_else(|| format!("unknown device `{v}` (armonk|almaden)"))?;
+            }
+            "--qubits" => {
+                args.qubits = Some(
+                    take("--qubits")?
+                        .parse()
+                        .map_err(|_| "--qubits needs an integer".to_string())?,
+                )
+            }
+            "--device-seed" => {
+                args.device_seed = take("--device-seed")?
+                    .parse()
+                    .map_err(|_| "--device-seed needs an integer".to_string())?
+            }
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?
+            }
+            "--shots" => {
+                args.shots = take("--shots")?
+                    .parse()
+                    .map_err(|_| "--shots needs an integer".to_string())?
+            }
+            "--noiseless" => args.noisy = false,
+            "--standard" => args.mode = CompileMode::Standard,
+            other if !other.starts_with('-') => args.paths.push(other.to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.paths.is_empty() {
+        return Err("opc submit needs at least one .qasm file".to_string());
+    }
+    Ok(args)
+}
+
+fn print_output(path: &str, out: &quant_service::JobOutput) {
+    println!(
+        "{path}: ok — key {:016x}, {} pulses, {} dt, fidelity {:.4}",
+        out.key, out.pulse_count, out.duration_dt, out.fidelity
+    );
+    for (idx, &c) in out.counts.iter().enumerate() {
+        if c > 0 {
+            let bits: String = (0..out.num_qubits)
+                .map(|q| if (idx >> q) & 1 == 1 { '1' } else { '0' })
+                .collect();
+            println!("  |{bits}⟩ (q0 first): {c}");
+        }
+    }
+}
+
+/// `opc submit`: jobs to a remote server, or through an in-process
+/// service when no `--addr` is given.
+fn cmd_submit(rest: &[String]) -> ! {
+    let args = match parse_submit_args(rest) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("opc submit: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut failed = false;
+    let jobs: Vec<(String, JobSpec)> = args
+        .paths
+        .iter()
+        .filter_map(|path| match std::fs::read_to_string(path) {
+            Ok(source) => {
+                // Width defaults to the parsed register size so small
+                // programs do not pay for a 10-qubit tune-up.
+                let qubits = args.qubits.or_else(|| {
+                    qasm::parse(&source).ok().map(|c| c.num_qubits())
+                });
+                let device =
+                    DeviceSpec::new(args.device, qubits.unwrap_or(1), args.device_seed);
+                let spec = JobSpec {
+                    device,
+                    circuit: quant_service::CircuitSource::Qasm(source),
+                    mode: args.mode,
+                    shots: args.shots,
+                    seed: args.seed,
+                    noisy: args.noisy,
+                };
+                Some((path.clone(), spec))
+            }
+            Err(e) => {
+                eprintln!("opc submit: cannot read {path}: {e}");
+                failed = true;
+                None
+            }
+        })
+        .collect();
+
+    match &args.addr {
+        Some(addr) => {
+            let stream = match TcpStream::connect(addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("opc submit: cannot connect to {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let reader_stream = match stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("opc submit: clone failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let mut reader = BufReader::new(reader_stream);
+            let mut writer = BufWriter::new(stream);
+            for (path, spec) in &jobs {
+                let sent = wire::write_request(&mut writer, spec)
+                    .and_then(|()| writer.flush())
+                    .and_then(|()| wire::read_response(&mut reader));
+                match sent {
+                    Ok(wire::WireResponse::Ok(out)) => print_output(path, &out),
+                    Ok(wire::WireResponse::Error(kind, msg)) => {
+                        eprintln!("{path}: {kind} error — {msg}");
+                        failed = true;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: transport error — {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        None => {
+            let service = match CompileService::new(ServiceConfig::default()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("opc submit: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let tickets: Vec<_> = jobs
+                .iter()
+                .map(|(path, spec)| (path, service.submit(spec.clone())))
+                .collect();
+            for (path, ticket) in tickets {
+                match ticket.and_then(|t| t.wait().map(|out| (*out).clone())) {
+                    Ok(out) => print_output(path, &out),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&argv[1..]),
+        Some("submit") => cmd_submit(&argv[1..]),
+        _ => {}
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

@@ -12,9 +12,13 @@
 //! (retained serial-naive reference vs the stride-kernel path at 1 and N
 //! threads, past the `O(4ⁿ)` density wall), the propagator hot loop
 //! (eigendecomposition reference vs the Taylor scratch used by the
-//! integrators), and a θ-sweep with the pulse cache off vs on. Results —
-//! `workload`, `threads`, `wall_ms`, `shots_per_s`, `speedup` (vs the
-//! workload's own baseline row) — are written to `BENCH_4.json`.
+//! integrators), a θ-sweep with the pulse cache off vs on, and the
+//! compile service under a mixed concurrent job stream at 1..N workers
+//! (`service_throughput`: `shots_per_s` is jobs/sec there, with
+//! `p50_ms`/`p99_ms` latency and `dedup_hit_rate` extras, and a fatal
+//! cross-worker-count checksum check). Results — `workload`, `threads`,
+//! `wall_ms`, `shots_per_s`, `speedup` (vs the workload's own baseline
+//! row) — are written to `BENCH_5.json`.
 //!
 //! Pooled workloads are always recorded at 1 thread *and* at a scaling
 //! thread count (≥ 2 even on a single-core host, so the fan-out machinery
@@ -42,11 +46,14 @@ use quant_device::{
 use quant_math::{seeded, unitary_exp, C64, CMat, PropagatorScratch};
 use rand::Rng;
 use quant_sim::{channels, gates, DensityMatrix, KernelScratch};
+use quant_service::{CompileService, DeviceKind, DeviceSpec, JobSpec, ServiceConfig};
 use repro_bench::{
     compare_flows, json, qaoa_line_circuit,
     timing::time_best,
     Setup,
 };
+use std::sync::Arc;
+use std::time::Instant;
 
 struct Entry {
     workload: String,
@@ -54,6 +61,9 @@ struct Entry {
     wall_ms: f64,
     shots_per_s: f64,
     speedup: f64,
+    /// Extra numeric fields some workloads report (e.g. the service rows'
+    /// latency percentiles); emitted verbatim into the JSON object.
+    extra: Vec<(&'static str, f64)>,
 }
 
 fn record(
@@ -70,6 +80,7 @@ fn record(
         wall_ms,
         shots_per_s: shots as f64 / (wall_ms / 1e3),
         speedup: baseline_ms / wall_ms,
+        extra: Vec::new(),
     };
     println!(
         "{:<28} threads={:<2} {:>10.1} ms {:>12.0} shots/s {:>6.2}x",
@@ -200,6 +211,140 @@ fn trajectory_workload(
         Err(e) => die(format_args!("trajectory workload failed: {e}")),
     };
     shots
+}
+
+/// The service throughput workload's job mix: several distinct jobs per
+/// device spec, each submitted `copies` times, so the stream exercises
+/// batching (same-device runs), sharding (three devices) and dedup
+/// (identical copies coalesce). Returned in submission order.
+fn service_job_mix(smoke: bool) -> Vec<JobSpec> {
+    let copies = 3;
+    let shots = if smoke { 200 } else { 1000 };
+    let mut distinct: Vec<JobSpec> = Vec::new();
+    let angles = if smoke { 2 } else { 8 };
+    for k in 1..=angles {
+        let src = format!(
+            "qreg q[1]; rx({}*pi/{angles}) q[0];",
+            k
+        );
+        let mut job = JobSpec::qasm(DeviceSpec::new(DeviceKind::Armonk, 1, 42), src);
+        job.shots = shots;
+        distinct.push(job);
+    }
+    let two_q = if smoke { 1 } else { 7 };
+    for k in 0..two_q {
+        let src = format!(
+            "qreg q[2]; h q[0]; cx q[0], q[1]; rz({}*pi/8) q[1];",
+            k + 1
+        );
+        let mut job = JobSpec::qasm(DeviceSpec::new(DeviceKind::Almaden, 2, 43), src);
+        job.shots = shots;
+        distinct.push(job);
+    }
+    if !smoke {
+        for k in 0..6 {
+            let src = format!(
+                "qreg q[3]; h q[0]; cx q[0], q[1]; cx q[1], q[2]; rx({}*pi/7) q[2];",
+                k + 1
+            );
+            let mut job = JobSpec::qasm(DeviceSpec::new(DeviceKind::Almaden, 3, 44), src);
+            job.shots = shots;
+            distinct.push(job);
+        }
+    }
+    // Interleave the copies (a, b, c, a, b, c, …) so duplicates arrive
+    // while their first submission is typically still in flight.
+    let mut jobs = Vec::with_capacity(distinct.len() * copies);
+    for _ in 0..copies {
+        jobs.extend(distinct.iter().cloned());
+    }
+    jobs
+}
+
+/// Runs the job mix through a fresh `CompileService` at `workers` worker
+/// threads, returning `(wall_ms, p50_ms, p99_ms, dedup_rate, checksum)`.
+/// The checksum folds every output's counts and fidelity bits in
+/// submission order; the caller asserts it is identical at every worker
+/// count (the service determinism contract).
+fn service_throughput_run(jobs: &[JobSpec], workers: usize) -> (f64, f64, f64, f64, u64) {
+    let t0 = Instant::now();
+    let clock: Arc<dyn Fn() -> u64 + Send + Sync> =
+        Arc::new(move || t0.elapsed().as_micros() as u64);
+    let service = match CompileService::new(ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        clock: Some(clock),
+        ..ServiceConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => die(format_args!("service start failed: {e}")),
+    };
+    // Warm the calibration shards outside the timed window: the tune-up
+    // wall has its own perfsuite rows, and these rows measure the
+    // request path (queue, dedup, compile, execute, sample).
+    let mut seen = Vec::new();
+    for job in jobs {
+        if !seen.contains(&job.device) {
+            seen.push(job.device);
+            let mut warm = job.clone();
+            warm.shots = 1;
+            match service.submit(warm) {
+                Ok(ticket) => {
+                    if let Err(e) = ticket.wait() {
+                        die(format_args!("shard warm-up failed: {e}"));
+                    }
+                }
+                Err(e) => die(format_args!("shard warm-up failed: {e}")),
+            }
+        }
+    }
+
+    // Ticks are on the service clock (since `t0`); submissions are on the
+    // post-warm-up timer. `base_tick` rebases completions onto the timer.
+    let base_tick = t0.elapsed().as_micros() as u64;
+    let timer = Instant::now();
+    let mut tickets = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let submit_tick = timer.elapsed().as_micros() as u64;
+        match service.submit_blocking(job.clone()) {
+            Ok(ticket) => tickets.push((submit_tick, ticket)),
+            Err(e) => die(format_args!("service submit failed: {e}")),
+        }
+    }
+    let mut latencies_us = Vec::with_capacity(tickets.len());
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |w: u64| {
+        for byte in w.to_le_bytes() {
+            checksum ^= byte as u64;
+            checksum = checksum.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (submit_tick, ticket) in tickets {
+        let out = match ticket.wait() {
+            Ok(out) => out,
+            Err(e) => die(format_args!("service job failed: {e}")),
+        };
+        let completed = out.completed_tick.saturating_sub(base_tick);
+        latencies_us.push(completed.saturating_sub(submit_tick));
+        fold(out.duration_dt);
+        fold(out.fidelity.to_bits());
+        for &c in &out.counts {
+            fold(c);
+        }
+    }
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_us.len() - 1) as f64 * p).round() as usize;
+        latencies_us[idx.min(latencies_us.len() - 1)] as f64 / 1e3
+    };
+    let stats = service.stats();
+    let dedup_rate =
+        stats.dedup_hits as f64 / (stats.dedup_hits + stats.submitted).max(1) as f64;
+    (wall_ms, pct(0.50), pct(0.99), dedup_rate, checksum)
 }
 
 /// Reports a fatal workload error and exits nonzero — a benchmark binary
@@ -527,19 +672,67 @@ fn main() {
     });
     record(&mut entries, "theta_sweep_2q_cache_on", 1, ms, n, off_ms);
 
+    // Service throughput: the full request path (queue → dedup → shard →
+    // batch → compile → execute → sample) under a mixed job stream, at a
+    // growing worker pool. The checksum over every output must be
+    // bit-identical at every worker count — the service inherits the shot
+    // pool's determinism contract — so a mismatch is fatal, not a slow row.
+    let service_jobs = service_job_mix(smoke);
+    let worker_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let mut service_baseline_ms = 0.0;
+    let mut service_checksum = None;
+    for &workers in worker_counts {
+        let (wall_ms, p50_ms, p99_ms, dedup_rate, checksum) =
+            service_throughput_run(&service_jobs, workers);
+        match service_checksum {
+            None => service_checksum = Some(checksum),
+            Some(expected) if expected != checksum => die(format_args!(
+                "service results diverged at {workers} workers \
+                 ({expected:016x} vs {checksum:016x})"
+            )),
+            Some(_) => {}
+        }
+        if workers == worker_counts[0] {
+            service_baseline_ms = wall_ms;
+        }
+        record(
+            &mut entries,
+            "service_throughput",
+            workers,
+            wall_ms,
+            service_jobs.len(),
+            service_baseline_ms,
+        );
+        if let Some(entry) = entries.last_mut() {
+            entry.extra = vec![
+                ("p50_ms", p50_ms),
+                ("p99_ms", p99_ms),
+                ("dedup_hit_rate", dedup_rate),
+            ];
+        }
+        println!(
+            "{:<28}            p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms, dedup {:.0}%",
+            "", dedup_rate * 100.0
+        );
+    }
+
     let items: Vec<json::Json> = entries
         .iter()
         .map(|e| {
-            json::object([
+            let mut fields = vec![
                 ("workload", json::string(&e.workload)),
                 ("threads", json::number(e.threads as f64)),
                 ("wall_ms", json::number(e.wall_ms)),
                 ("shots_per_s", json::number(e.shots_per_s)),
                 ("speedup", json::number(e.speedup)),
-            ])
+            ];
+            for &(name, value) in &e.extra {
+                fields.push((name, json::number(value)));
+            }
+            json::object(fields)
         })
         .collect();
-    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_4.json" };
+    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_5.json" };
     match std::fs::write(path, json::array(items).pretty()) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path}: {e}"),

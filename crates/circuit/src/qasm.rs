@@ -11,26 +11,46 @@ use crate::circuit::Circuit;
 use crate::gate::Gate;
 use std::fmt;
 
-/// A parse error with its 1-based line number.
+/// A parse error with its 1-based line and column. Parsing untrusted
+/// input never panics: every malformed program — including oversized
+/// registers, non-finite parameter arithmetic and duplicate operands —
+/// comes back as a value, so a service can answer with a 4xx-style
+/// rejection instead of dying.
 #[derive(Clone, Debug, PartialEq)]
 pub struct QasmError {
     /// 1-based source line.
     pub line: usize,
+    /// 1-based byte column of the statement the error is in (`0` for
+    /// whole-program errors like a missing `qreg`).
+    pub column: usize,
     /// Human-readable message.
     pub message: String,
 }
 
 impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}, col {}: {}", self.line, self.column, self.message)
     }
 }
 
 impl std::error::Error for QasmError {}
 
-fn err(line: usize, message: impl Into<String>) -> QasmError {
+/// Largest accepted `qreg` size. Far above what the simulators can take,
+/// but low enough that a hostile declaration cannot make downstream
+/// consumers size anything astronomical (ideal distributions are `O(2ⁿ)`).
+pub const MAX_QREG_QUBITS: u32 = 64;
+
+/// A statement's source position: 1-based line, 1-based byte column.
+#[derive(Clone, Copy)]
+struct Pos {
+    line: usize,
+    column: usize,
+}
+
+fn err(pos: Pos, message: impl Into<String>) -> QasmError {
     QasmError {
-        line,
+        line: pos.line,
+        column: pos.column,
         message: message.into(),
     }
 }
@@ -42,8 +62,12 @@ pub fn parse(source: &str) -> Result<Circuit, QasmError> {
 
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
-        let line = raw.split("//").next().unwrap_or("").trim();
-        if line.is_empty() {
+        let line = raw.split("//").next().unwrap_or("").trim_end();
+        // Column of a statement = its byte offset within the raw line + 1.
+        // `split(';')` and `trim` hand back subslices of `raw`, so the
+        // offset is pointer arithmetic on the same allocation.
+        let col_of = |stmt: &str| stmt.as_ptr() as usize - raw.as_ptr() as usize + 1;
+        if line.trim().is_empty() {
             continue;
         }
         for stmt in line.split(';') {
@@ -51,14 +75,18 @@ pub fn parse(source: &str) -> Result<Circuit, QasmError> {
             if stmt.is_empty() {
                 continue;
             }
+            let pos = Pos {
+                line: line_no,
+                column: col_of(stmt),
+            };
             if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
                 continue;
             }
             if let Some(rest) = stmt.strip_prefix("qreg") {
                 let rest = rest.trim();
-                let (name, size) = parse_reg(rest, line_no)?;
+                let (name, size) = parse_reg(rest, pos)?;
                 if circuit.is_some() {
-                    return Err(err(line_no, "only one quantum register is supported"));
+                    return Err(err(pos, "only one quantum register is supported"));
                 }
                 reg_name = name;
                 circuit = Some(Circuit::new(size));
@@ -71,24 +99,38 @@ pub fn parse(source: &str) -> Result<Circuit, QasmError> {
             }
             let c = circuit
                 .as_mut()
-                .ok_or_else(|| err(line_no, "gate before qreg declaration"))?;
-            parse_gate_statement(c, &reg_name, stmt, line_no)?;
+                .ok_or_else(|| err(pos, "gate before qreg declaration"))?;
+            parse_gate_statement(c, &reg_name, stmt, pos)?;
         }
     }
-    circuit.ok_or_else(|| err(0, "no qreg declaration found"))
+    circuit.ok_or_else(|| {
+        err(
+            Pos { line: 0, column: 0 },
+            "no qreg declaration found",
+        )
+    })
 }
 
-fn parse_reg(rest: &str, line: usize) -> Result<(String, u32), QasmError> {
+fn parse_reg(rest: &str, pos: Pos) -> Result<(String, u32), QasmError> {
     // name[size]
-    let open = rest.find('[').ok_or_else(|| err(line, "expected `[` in qreg"))?;
-    let close = rest.find(']').ok_or_else(|| err(line, "expected `]` in qreg"))?;
+    let open = rest.find('[').ok_or_else(|| err(pos, "expected `[` in qreg"))?;
+    let close = rest.find(']').ok_or_else(|| err(pos, "expected `]` in qreg"))?;
+    if close < open {
+        return Err(err(pos, "expected `[` before `]` in qreg"));
+    }
     let name = rest[..open].trim().to_string();
     let size: u32 = rest[open + 1..close]
         .trim()
         .parse()
-        .map_err(|_| err(line, "invalid register size"))?;
+        .map_err(|_| err(pos, "invalid register size"))?;
     if name.is_empty() || size == 0 {
-        return Err(err(line, "invalid qreg declaration"));
+        return Err(err(pos, "invalid qreg declaration"));
+    }
+    if size > MAX_QREG_QUBITS {
+        return Err(err(
+            pos,
+            format!("register size {size} exceeds the supported maximum {MAX_QREG_QUBITS}"),
+        ));
     }
     Ok((name, size))
 }
@@ -97,22 +139,22 @@ fn parse_gate_statement(
     c: &mut Circuit,
     reg: &str,
     stmt: &str,
-    line: usize,
+    pos: Pos,
 ) -> Result<(), QasmError> {
     // gate-name [ (params) ] operand [, operand]
     let (head, operands_text) = match stmt.find(|ch: char| ch.is_whitespace()) {
-        Some(pos) if !stmt[..pos].contains('(') && !stmt.contains('(') => {
-            (stmt[..pos].trim(), stmt[pos..].trim())
+        Some(split) if !stmt[..split].contains('(') && !stmt.contains('(') => {
+            (stmt[..split].trim(), stmt[split..].trim())
         }
         _ => {
             // Parameterized form: name(p1,p2) ops — split at the closing paren.
             if let Some(close) = stmt.find(')') {
                 (stmt[..=close].trim(), stmt[close + 1..].trim())
             } else {
-                let pos = stmt
+                let split = stmt
                     .find(|ch: char| ch.is_whitespace())
-                    .ok_or_else(|| err(line, "malformed statement"))?;
-                (stmt[..pos].trim(), stmt[pos..].trim())
+                    .ok_or_else(|| err(pos, "malformed statement"))?;
+                (stmt[..split].trim(), stmt[split..].trim())
             }
         }
     };
@@ -120,11 +162,14 @@ fn parse_gate_statement(
     let (name, params) = if let Some(open) = head.find('(') {
         let close = head
             .rfind(')')
-            .ok_or_else(|| err(line, "unterminated parameter list"))?;
+            .ok_or_else(|| err(pos, "unterminated parameter list"))?;
+        if close < open {
+            return Err(err(pos, "`)` before `(` in parameter list"));
+        }
         let name = head[..open].trim();
         let params: Vec<f64> = head[open + 1..close]
             .split(',')
-            .map(|p| parse_expr(p.trim(), line))
+            .map(|p| parse_expr(p.trim(), pos))
             .collect::<Result<_, _>>()?;
         (name, params)
     } else {
@@ -133,14 +178,21 @@ fn parse_gate_statement(
 
     let qubits: Vec<u32> = operands_text
         .split(',')
-        .map(|op| parse_operand(op.trim(), reg, c.num_qubits(), line))
+        .map(|op| parse_operand(op.trim(), reg, c.num_qubits(), pos))
         .collect::<Result<_, _>>()?;
+    for (i, &q) in qubits.iter().enumerate() {
+        if qubits[..i].contains(&q) {
+            // `Circuit::push` would assert on this; reject it as a parse
+            // error so malformed input can never abort the process.
+            return Err(err(pos, format!("duplicate operand qubit {q}")));
+        }
+    }
 
     let p = |i: usize| -> Result<f64, QasmError> {
         params
             .get(i)
             .copied()
-            .ok_or_else(|| err(line, format!("`{name}` missing parameter {i}")))
+            .ok_or_else(|| err(pos, format!("`{name}` missing parameter {i}")))
     };
     let gate = match name {
         "id" => Gate::I,
@@ -168,11 +220,11 @@ fn parse_gate_statement(
             }
             return Ok(());
         }
-        other => return Err(err(line, format!("unsupported gate `{other}`"))),
+        other => return Err(err(pos, format!("unsupported gate `{other}`"))),
     };
     if qubits.len() != gate.arity() {
         return Err(err(
-            line,
+            pos,
             format!(
                 "`{name}` expects {} operand(s), got {}",
                 gate.arity(),
@@ -184,33 +236,36 @@ fn parse_gate_statement(
     Ok(())
 }
 
-fn parse_operand(op: &str, reg: &str, n: u32, line: usize) -> Result<u32, QasmError> {
+fn parse_operand(op: &str, reg: &str, n: u32, pos: Pos) -> Result<u32, QasmError> {
     let open = op
         .find('[')
-        .ok_or_else(|| err(line, format!("expected indexed operand, got `{op}`")))?;
+        .ok_or_else(|| err(pos, format!("expected indexed operand, got `{op}`")))?;
     let close = op
         .find(']')
-        .ok_or_else(|| err(line, "unterminated operand index"))?;
+        .ok_or_else(|| err(pos, "unterminated operand index"))?;
+    if close < open {
+        return Err(err(pos, "expected `[` before `]` in operand"));
+    }
     let name = op[..open].trim();
     if name != reg {
-        return Err(err(line, format!("unknown register `{name}`")));
+        return Err(err(pos, format!("unknown register `{name}`")));
     }
     let q: u32 = op[open + 1..close]
         .trim()
         .parse()
-        .map_err(|_| err(line, "invalid qubit index"))?;
+        .map_err(|_| err(pos, "invalid qubit index"))?;
     if q >= n {
-        return Err(err(line, format!("qubit index {q} out of range (size {n})")));
+        return Err(err(pos, format!("qubit index {q} out of range (size {n})")));
     }
     Ok(q)
 }
 
 /// Parses a parameter expression: products/quotients of signed literals and
 /// `pi` (e.g. `pi/2`, `-3*pi/4`, `0.25`).
-fn parse_expr(text: &str, line: usize) -> Result<f64, QasmError> {
+fn parse_expr(text: &str, pos: Pos) -> Result<f64, QasmError> {
     let text = text.trim();
     if text.is_empty() {
-        return Err(err(line, "empty parameter expression"));
+        return Err(err(pos, "empty parameter expression"));
     }
     // Tokenize into factors around * and /.
     let mut value = 1.0_f64;
@@ -222,28 +277,38 @@ fn parse_expr(text: &str, line: usize) -> Result<f64, QasmError> {
     } else if let Some(stripped) = rest.strip_prefix('+') {
         rest = stripped.trim_start();
     }
-    let mut op = '*';
+    let mut divide = false;
     for token in tokenize_factors(rest) {
         let token = token.trim();
         match token {
-            "*" | "/" => op = token.chars().next().unwrap(),
+            "*" => divide = false,
+            "/" => divide = true,
             _ => {
                 let v = if token == "pi" {
                     std::f64::consts::PI
                 } else {
                     token
                         .parse::<f64>()
-                        .map_err(|_| err(line, format!("invalid number `{token}`")))?
+                        .map_err(|_| err(pos, format!("invalid number `{token}`")))?
                 };
-                match op {
-                    '*' => value *= v,
-                    '/' => value /= v,
-                    _ => unreachable!(),
+                if divide {
+                    value /= v;
+                } else {
+                    value *= v;
                 }
             }
         }
     }
-    Ok(if negate { -value } else { value })
+    let value = if negate { -value } else { value };
+    if !value.is_finite() {
+        // Catches literal inf/NaN and overflow/division-by-zero results —
+        // a non-finite angle would poison every pulse envelope downstream.
+        return Err(err(
+            pos,
+            format!("parameter expression `{text}` is not finite"),
+        ));
+    }
+    Ok(value)
 }
 
 fn tokenize_factors(text: &str) -> Vec<String> {
@@ -348,10 +413,17 @@ mod tests {
     }
 
     #[test]
-    fn errors_carry_line_numbers() {
+    fn errors_carry_line_and_column() {
         let e = parse("qreg q[2];\nfrobnicate q[0];").unwrap_err();
         assert_eq!(e.line, 2);
+        assert_eq!(e.column, 1);
         assert!(e.message.contains("frobnicate"));
+        assert_eq!(e.to_string(), format!("line 2, col 1: {}", e.message));
+
+        // Second statement on the line → column points past the first.
+        let e = parse("qreg q[2]; frobnicate q[0];").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.column, 12);
 
         let e = parse("qreg q[1];\nx q[3];").unwrap_err();
         assert!(e.message.contains("out of range"));
@@ -364,6 +436,39 @@ mod tests {
     fn arity_mismatch_is_an_error() {
         let e = parse("qreg q[2]; cx q[0];").unwrap_err();
         assert!(e.message.contains("expects 2"));
+    }
+
+    #[test]
+    fn hostile_input_is_rejected_not_fatal() {
+        // Duplicate operands would trip `Circuit::push`'s assert.
+        let e = parse("qreg q[2]; cx q[0], q[0];").unwrap_err();
+        assert!(e.message.contains("duplicate operand"));
+
+        // Oversized register declarations are capped.
+        let e = parse("qreg q[4000000000];").unwrap_err();
+        assert!(e.message.contains("maximum"), "{}", e.message);
+
+        // Non-finite parameter arithmetic (division by zero, literal inf,
+        // overflow) is a parse error, not a poisoned angle.
+        for src in [
+            "qreg q[1]; rx(1/0) q[0];",
+            "qreg q[1]; rx(inf) q[0];",
+            "qreg q[1]; rx(NaN) q[0];",
+            "qreg q[1]; rx(1e308*1e308) q[0];",
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(e.message.contains("not finite"), "{src}: {}", e.message);
+        }
+
+        // Reversed brackets and empty heads must error, not slice-panic.
+        for src in [
+            "qreg q]2[;",
+            "qreg q[2]; x q]0[;",
+            "qreg q[2]; rx)0.5( q[0];",
+            "qreg q[2]; ( q[0];",
+        ] {
+            assert!(parse(src).is_err(), "accepted: {src}");
+        }
     }
 
     #[test]

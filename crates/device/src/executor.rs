@@ -552,9 +552,32 @@ impl<'a> PulseExecutor<'a> {
 /// The thread count comes from the `OPC_THREADS` environment variable when
 /// constructed via [`ShotPool::from_env`] (unset or `0` → all available
 /// cores).
+///
+/// Fan-out never exceeds the host's available parallelism: spawning more
+/// workers than cores is pure time-slicing overhead (on a 1-core host a
+/// 2-thread `fig12_reduced` run regressed to 0.96× from exactly this),
+/// and the determinism contract makes the clamp invisible in the results.
+/// Set `OPC_OVERSUBSCRIBE=1` to lift the clamp when a run must exercise
+/// the cross-thread machinery itself (e.g. 4-thread determinism tests on
+/// a 2-core CI runner).
 #[derive(Clone, Copy, Debug)]
 pub struct ShotPool {
     threads: usize,
+}
+
+/// The host's spawn ceiling for [`ShotPool`] fan-out: available
+/// parallelism, or unlimited under `OPC_OVERSUBSCRIBE=1`. Cached — the
+/// answer cannot change mid-process and this sits on every fan-out path.
+fn host_parallelism() -> usize {
+    static LIMIT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        let oversubscribe = std::env::var("OPC_OVERSUBSCRIBE")
+            .is_ok_and(|v| v.trim() == "1");
+        if oversubscribe {
+            return usize::MAX;
+        }
+        std::thread::available_parallelism().map_or(usize::MAX, |n| n.get())
+    })
 }
 
 impl ShotPool {
@@ -624,7 +647,7 @@ impl ShotPool {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> T + Sync,
     {
-        let threads = self.threads.min(n.max(1));
+        let threads = self.threads.min(n.max(1)).min(host_parallelism());
         if threads <= 1 {
             let mut state = init();
             return (0..n).map(|i| f(&mut state, i)).collect();

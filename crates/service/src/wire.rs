@@ -1,0 +1,456 @@
+//! A line-oriented text protocol for `opc serve` / `opc submit`.
+//!
+//! One connection carries any number of requests, answered in order:
+//!
+//! ```text
+//! OPCJOB 1
+//! device almaden 2 7
+//! mode optimized
+//! shots 4000
+//! seed 7
+//! noisy 1
+//! qasm
+//! qreg q[2];
+//! h q[0];
+//! cx q[0], q[1];
+//! .
+//! ```
+//!
+//! The QASM body is terminated by a lone `.` (no statement in the
+//! supported dialect starts with one). Responses are either
+//!
+//! ```text
+//! OPCRESULT ok
+//! key 1f2e3d4c5b6a7988
+//! qubits 2
+//! duration_dt 13536
+//! pulses 9
+//! fidelity 0.98 3fef5c28f5c28f5c
+//! counts 1943 12 38 2007
+//! assembly
+//! OPENQASM 2.0;
+//! ...
+//! .
+//! end
+//! ```
+//!
+//! (`fidelity` carries both a readable decimal and the exact `f64` bit
+//! pattern in hex, so clients can round-trip the value bit-for-bit), or
+//!
+//! ```text
+//! OPCRESULT error overloaded
+//! message service overloaded (queue capacity 256)
+//! end
+//! ```
+//!
+//! The parser is as defensive as the service itself: malformed frames
+//! come back as `io::ErrorKind::InvalidData`, never a panic.
+
+use crate::service::{CompileService, JobOutput, ServiceError};
+use crate::spec::{CircuitSource, DeviceKind, DeviceSpec, JobSpec};
+use pulse_compiler::CompileMode;
+use std::io::{self, BufRead, Write};
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Serializes a request frame.
+pub fn write_request<W: Write>(w: &mut W, spec: &JobSpec) -> io::Result<()> {
+    let qasm_text = match &spec.circuit {
+        CircuitSource::Qasm(src) => src.clone(),
+        CircuitSource::Ir(circuit) => quant_circuit::qasm::print(circuit),
+    };
+    writeln!(w, "OPCJOB 1")?;
+    writeln!(
+        w,
+        "device {} {} {}",
+        spec.device.kind.name(),
+        spec.device.qubits,
+        spec.device.seed
+    )?;
+    writeln!(
+        w,
+        "mode {}",
+        match spec.mode {
+            CompileMode::Standard => "standard",
+            CompileMode::Optimized => "optimized",
+        }
+    )?;
+    writeln!(w, "shots {}", spec.shots)?;
+    writeln!(w, "seed {}", spec.seed)?;
+    writeln!(w, "noisy {}", u8::from(spec.noisy))?;
+    writeln!(w, "qasm")?;
+    for line in qasm_text.lines() {
+        writeln!(w, "{line}")?;
+    }
+    writeln!(w, ".")?;
+    w.flush()
+}
+
+/// Reads one request frame; `Ok(None)` on a clean EOF before the header.
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<JobSpec>> {
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if r.read_line(&mut header)? == 0 {
+            return Ok(None);
+        }
+        if !header.trim().is_empty() {
+            break;
+        }
+    }
+    if header.trim() != "OPCJOB 1" {
+        return Err(bad(format!("expected `OPCJOB 1`, got `{}`", header.trim())));
+    }
+    let mut device = None;
+    let mut mode = CompileMode::Optimized;
+    let mut shots = 4000usize;
+    let mut seed = 7u64;
+    let mut noisy = true;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(bad("unexpected EOF inside OPCJOB frame"));
+        }
+        let trimmed = line.trim();
+        let mut fields = trimmed.split_whitespace();
+        match fields.next() {
+            Some("device") => {
+                let kind = fields
+                    .next()
+                    .and_then(DeviceKind::parse)
+                    .ok_or_else(|| bad("device line needs `armonk|almaden`"))?;
+                let qubits = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("device line needs a qubit count"))?;
+                let dev_seed = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("device line needs a seed"))?;
+                device = Some(DeviceSpec::new(kind, qubits, dev_seed));
+            }
+            Some("mode") => {
+                mode = match fields.next() {
+                    Some("standard") => CompileMode::Standard,
+                    Some("optimized") => CompileMode::Optimized,
+                    other => return Err(bad(format!("unknown mode {other:?}"))),
+                };
+            }
+            Some("shots") => {
+                shots = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("shots needs an integer"))?;
+            }
+            Some("seed") => {
+                seed = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("seed needs an integer"))?;
+            }
+            Some("noisy") => {
+                noisy = match fields.next() {
+                    Some("0") => false,
+                    Some("1") => true,
+                    other => return Err(bad(format!("noisy needs 0 or 1, got {other:?}"))),
+                };
+            }
+            Some("qasm") => break,
+            other => return Err(bad(format!("unknown OPCJOB field {other:?}"))),
+        }
+    }
+    let mut qasm_text = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(bad("unexpected EOF inside qasm body"));
+        }
+        if line.trim_end() == "." {
+            break;
+        }
+        qasm_text.push_str(&line);
+    }
+    let device = device.ok_or_else(|| bad("OPCJOB frame missing a device line"))?;
+    Ok(Some(JobSpec {
+        device,
+        circuit: CircuitSource::Qasm(qasm_text),
+        mode,
+        shots,
+        seed,
+        noisy,
+    }))
+}
+
+fn error_kind(e: &ServiceError) -> &'static str {
+    match e {
+        ServiceError::Overloaded { .. } => "overloaded",
+        ServiceError::Parse(_) => "parse",
+        ServiceError::InvalidRequest(_) => "invalid",
+        ServiceError::Compile(_) => "compile",
+        ServiceError::Exec(_) => "exec",
+        ServiceError::ShutDown => "shutdown",
+        ServiceError::Spawn(_) => "spawn",
+    }
+}
+
+/// Serializes a response frame.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    result: &Result<std::sync::Arc<JobOutput>, ServiceError>,
+) -> io::Result<()> {
+    match result {
+        Ok(out) => {
+            writeln!(w, "OPCRESULT ok")?;
+            writeln!(w, "key {:016x}", out.key)?;
+            writeln!(w, "qubits {}", out.num_qubits)?;
+            writeln!(w, "duration_dt {}", out.duration_dt)?;
+            writeln!(w, "pulses {}", out.pulse_count)?;
+            writeln!(
+                w,
+                "fidelity {} {:016x}",
+                out.fidelity,
+                out.fidelity.to_bits()
+            )?;
+            write!(w, "counts")?;
+            for c in &out.counts {
+                write!(w, " {c}")?;
+            }
+            writeln!(w)?;
+            writeln!(w, "assembly")?;
+            for line in out.assembly_qasm.lines() {
+                writeln!(w, "{line}")?;
+            }
+            writeln!(w, ".")?;
+        }
+        Err(e) => {
+            writeln!(w, "OPCRESULT error {}", error_kind(e))?;
+            writeln!(w, "message {e}")?;
+        }
+    }
+    writeln!(w, "end")?;
+    w.flush()
+}
+
+/// A client-side view of a response: either the job output (with the
+/// server-computed key/fidelity bits restored exactly) or the error kind
+/// + rendered message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireResponse {
+    /// Success frame.
+    Ok(JobOutput),
+    /// Error frame: `(kind, message)` as sent by the server.
+    Error(String, String),
+}
+
+/// Reads one response frame.
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<WireResponse> {
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if r.read_line(&mut header)? == 0 {
+            return Err(bad("unexpected EOF before OPCRESULT"));
+        }
+        if !header.trim().is_empty() {
+            break;
+        }
+    }
+    let header = header.trim().to_string();
+    let mut line = String::new();
+    if let Some(kind) = header.strip_prefix("OPCRESULT error") {
+        let kind = kind.trim().to_string();
+        let mut message = String::new();
+        loop {
+            line.clear();
+            if r.read_line(&mut line)? == 0 {
+                return Err(bad("unexpected EOF inside error frame"));
+            }
+            let trimmed = line.trim_end();
+            if trimmed == "end" {
+                return Ok(WireResponse::Error(kind, message));
+            }
+            if let Some(msg) = trimmed.strip_prefix("message ") {
+                message = msg.to_string();
+            }
+        }
+    }
+    if header != "OPCRESULT ok" {
+        return Err(bad(format!("expected OPCRESULT, got `{header}`")));
+    }
+    let mut out = JobOutput {
+        key: 0,
+        num_qubits: 0,
+        assembly_qasm: String::new(),
+        duration_dt: 0,
+        pulse_count: 0,
+        counts: Vec::new(),
+        fidelity: 0.0,
+        completed_tick: 0,
+    };
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(bad("unexpected EOF inside ok frame"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed == "end" {
+            return Ok(WireResponse::Ok(out));
+        }
+        let mut fields = trimmed.split_whitespace();
+        match fields.next() {
+            Some("key") => {
+                out.key = fields
+                    .next()
+                    .and_then(|v| u64::from_str_radix(v, 16).ok())
+                    .ok_or_else(|| bad("key needs a hex word"))?;
+            }
+            Some("qubits") => {
+                out.num_qubits = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("qubits needs an integer"))?;
+            }
+            Some("duration_dt") => {
+                out.duration_dt = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("duration_dt needs an integer"))?;
+            }
+            Some("pulses") => {
+                out.pulse_count = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("pulses needs an integer"))?;
+            }
+            Some("fidelity") => {
+                // Second field is the exact bit pattern; the decimal is
+                // for human eyes only.
+                let bits = fields
+                    .nth(1)
+                    .and_then(|v| u64::from_str_radix(v, 16).ok())
+                    .ok_or_else(|| bad("fidelity needs decimal + bits-hex"))?;
+                out.fidelity = f64::from_bits(bits);
+            }
+            Some("counts") => {
+                out.counts = fields
+                    .map(|v| v.parse::<u64>().map_err(|_| bad("counts need integers")))
+                    .collect::<io::Result<_>>()?;
+            }
+            Some("assembly") => loop {
+                line.clear();
+                if r.read_line(&mut line)? == 0 {
+                    return Err(bad("unexpected EOF inside assembly body"));
+                }
+                if line.trim_end() == "." {
+                    break;
+                }
+                out.assembly_qasm.push_str(&line);
+            },
+            other => return Err(bad(format!("unknown OPCRESULT field {other:?}"))),
+        }
+    }
+}
+
+/// Server side of one connection: read requests, submit, wait, answer —
+/// until EOF. Errors become error frames, not panics; only transport
+/// failures (broken pipe) propagate. Reader and writer are separate so a
+/// `TcpStream` can be split with `try_clone` and the read side buffered.
+pub fn serve_connection<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    service: &CompileService,
+) -> io::Result<()> {
+    loop {
+        let Some(spec) = read_request(reader)? else {
+            return Ok(());
+        };
+        let result = match service.submit(spec) {
+            Ok(ticket) => ticket.wait(),
+            Err(e) => Err(e),
+        };
+        write_response(writer, &result)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            device: DeviceSpec::new(DeviceKind::Almaden, 2, 7),
+            circuit: CircuitSource::Qasm("qreg q[2];\nh q[0];\ncx q[0], q[1];\n".into()),
+            mode: CompileMode::Standard,
+            shots: 123,
+            seed: 99,
+            noisy: false,
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &spec()).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        let parsed = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(parsed, spec());
+        // EOF after the single frame.
+        assert_eq!(read_request(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn ok_response_round_trips_bit_exactly() {
+        let out = JobOutput {
+            key: 0xdead_beef_1234_5678,
+            num_qubits: 2,
+            assembly_qasm: "OPENQASM 2.0;\nqreg q[2];\nh q[0];\n".into(),
+            duration_dt: 4242,
+            pulse_count: 9,
+            counts: vec![10, 0, 3, 87],
+            fidelity: 0.987654321012345,
+            completed_tick: 0,
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Ok(std::sync::Arc::new(out.clone()))).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        match read_response(&mut r).unwrap() {
+            WireResponse::Ok(parsed) => {
+                assert_eq!(parsed, out);
+                assert_eq!(parsed.fidelity.to_bits(), out.fidelity.to_bits());
+            }
+            WireResponse::Error(..) => panic!("expected ok frame"),
+        }
+    }
+
+    #[test]
+    fn error_response_round_trips() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Err(ServiceError::Overloaded { capacity: 8 })).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(
+            read_response(&mut r).unwrap(),
+            WireResponse::Error(
+                "overloaded".into(),
+                "service overloaded (queue capacity 8)".into()
+            )
+        );
+    }
+
+    #[test]
+    fn malformed_frames_are_io_errors_not_panics() {
+        for garbage in [
+            "HELLO\n",
+            "OPCJOB 1\nqasm\n", // EOF before `.`
+            "OPCJOB 1\ndevice martian 1 1\nqasm\n.\n",
+            "OPCJOB 1\nqasm\n.\n", // no device line
+        ] {
+            let mut r = BufReader::new(garbage.as_bytes());
+            assert!(read_request(&mut r).is_err(), "accepted: {garbage:?}");
+        }
+        let mut r = BufReader::new("OPCRESULT ok\nbogus field\nend\n".as_bytes());
+        assert!(read_response(&mut r).is_err());
+    }
+}

@@ -15,4 +15,5 @@ pub use quant_circuit as circuit;
 pub use quant_device as device;
 pub use quant_math as math;
 pub use quant_pulse as pulse;
+pub use quant_service as service;
 pub use quant_sim as sim;
