@@ -17,6 +17,23 @@
 //!
 //! Example: `cargo run --release -p repro-bench --bin opc -- --run bell.qasm`
 //!
+//! The one-command pipeline and the benchmark corpus live behind two
+//! subcommands (see `quant-corpus`):
+//!
+//! ```text
+//! opc compile [--mode standard|optimized] [--shots N] [--seed N]
+//!             [--noiseless] [--trajectories N] program.qasm
+//! opc corpus  [--tier smoke|full] [--shots N] [--seed N]
+//!             [--device-seed N] [--out DIR] [--check]
+//! ```
+//!
+//! `opc compile` runs QASM → routing → compilation → pulse schedule →
+//! simulated execution → counts + Hellinger fidelity in one shot
+//! (`quant_corpus::run_qasm`). `opc corpus` runs the generated benchmark
+//! corpus under both compilation flows and writes `CORPUS_REPORT.json` +
+//! `CORPUS_REPORT.md`; `--check` exits nonzero unless pulse-level
+//! compilation beats gate-level on schedule duration for ≥ 3 families.
+//!
 //! Two service subcommands turn the same pipeline into a job engine
 //! (see `quant-service`):
 //!
@@ -35,7 +52,8 @@
 
 use pulse_compiler::{CompileMode, Compiler};
 use quant_circuit::qasm;
-use quant_device::{calibrate, DeviceModel, PulseExecutor, DT};
+use quant_corpus::{CorpusOptions, PipelineConfig, Tier};
+use quant_device::{calibrate, DeviceModel, PulseExecutor, ShotPool, DT};
 use quant_math::seeded;
 use quant_service::{
     wire, CompileService, DeviceKind, DeviceSpec, JobSpec, ServiceConfig,
@@ -373,11 +391,206 @@ fn cmd_submit(rest: &[String]) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+/// Prints measurement counts as little-endian bit strings.
+fn print_counts(counts: &[u64], width: u32) {
+    for (idx, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            let bits: String = (0..width)
+                .map(|q| if (idx >> q) & 1 == 1 { '1' } else { '0' })
+                .collect();
+            println!("  |{bits}⟩ (q0 first): {c}");
+        }
+    }
+}
+
+/// `opc compile`: the one-command QASM → pulses → counts pipeline.
+fn die_compile(msg: &str) -> ! {
+    eprintln!("opc compile: {msg}");
+    std::process::exit(2);
+}
+
+fn cmd_compile(rest: &[String]) -> ! {
+    let die = die_compile;
+    let mut config = PipelineConfig::default();
+    let mut path: Option<String> = None;
+    let mut device_seed = 7u64;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |what: &str| -> String {
+            iter.next().cloned().unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--mode" => {
+                config.mode = match take("--mode").as_str() {
+                    "standard" => CompileMode::Standard,
+                    "optimized" => CompileMode::Optimized,
+                    other => die(&format!("unknown mode `{other}`")),
+                }
+            }
+            "--shots" => {
+                config.shots = take("--shots").parse().unwrap_or_else(|_| die("--shots needs an integer"))
+            }
+            "--seed" => {
+                config.seed = take("--seed").parse().unwrap_or_else(|_| die("--seed needs an integer"));
+                device_seed = config.seed;
+            }
+            "--trajectories" => {
+                config.trajectories = take("--trajectories")
+                    .parse()
+                    .unwrap_or_else(|_| die("--trajectories needs an integer"))
+            }
+            "--noiseless" => config.noisy = false,
+            "--help" | "-h" => die(
+                "usage: opc compile [--mode standard|optimized] [--shots N] \
+                 [--seed N] [--noiseless] [--trajectories N] program.qasm",
+            ),
+            other if !other.starts_with('-') => path = Some(other.to_string()),
+            other => die(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    let Some(path) = path else { die("pass a program.qasm") };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("opc compile: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let circuit = match qasm::parse(&source) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("opc compile: parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut rng = seeded(device_seed);
+    let device = DeviceModel::almaden_like(circuit.num_qubits() as usize, &mut rng);
+    let calibration = calibrate(&device, &mut rng);
+    let run = match quant_corpus::run_circuit(
+        &device,
+        &calibration,
+        &circuit,
+        &config,
+        &ShotPool::from_env(),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("opc compile: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "compiled {} ({:?} flow): {} ops on {} qubits, {} swaps inserted, routed depth {}",
+        path,
+        run.mode,
+        circuit.len(),
+        circuit.num_qubits(),
+        run.swaps_inserted,
+        run.routed_depth,
+    );
+    println!(
+        "pulse schedule: {} pulses, {} dt = {:.2} µs",
+        run.pulse_count,
+        run.duration_dt,
+        run.duration_dt as f64 * DT * 1e6
+    );
+    println!("{}", run.compiled.program.schedule.ascii_art(72));
+    println!(
+        "execution ({} shots, {}, {} backend): Hellinger fidelity {:.4}",
+        config.shots,
+        if config.noisy { "noisy" } else { "noiseless" },
+        run.executor.name(),
+        run.fidelity
+    );
+    print_counts(&run.counts, circuit.num_qubits());
+    std::process::exit(0);
+}
+
+/// `opc corpus`: the comparative benchmark platform.
+fn die_corpus(msg: &str) -> ! {
+    eprintln!("opc corpus: {msg}");
+    std::process::exit(2);
+}
+
+fn cmd_corpus(rest: &[String]) -> ! {
+    let die = die_corpus;
+    let mut options = CorpusOptions::default();
+    let mut out_dir = String::from(".");
+    let mut check = false;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |what: &str| -> String {
+            iter.next().cloned().unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--tier" => {
+                options.tier = match take("--tier").as_str() {
+                    "smoke" => Tier::Smoke,
+                    "full" => Tier::Full,
+                    other => die(&format!("unknown tier `{other}`")),
+                }
+            }
+            "--shots" => {
+                options.shots = take("--shots").parse().unwrap_or_else(|_| die("--shots needs an integer"))
+            }
+            "--seed" => {
+                options.seed = take("--seed").parse().unwrap_or_else(|_| die("--seed needs an integer"))
+            }
+            "--device-seed" => {
+                options.device_seed = take("--device-seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--device-seed needs an integer"))
+            }
+            "--out" => out_dir = take("--out"),
+            "--check" => check = true,
+            "--help" | "-h" => die(
+                "usage: opc corpus [--tier smoke|full] [--shots N] [--seed N] \
+                 [--device-seed N] [--out DIR] [--check]",
+            ),
+            other => die(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    // Wall-clock columns come from an injected clock: the corpus library
+    // itself is clock-free per the determinism lint.
+    let t0 = std::time::Instant::now();
+    options.clock = Some(Arc::new(move || t0.elapsed().as_millis() as u64));
+    let report = match quant_corpus::run_corpus(&options, &ShotPool::from_env()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("opc corpus: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json_path = format!("{out_dir}/CORPUS_REPORT.json");
+    let md_path = format!("{out_dir}/CORPUS_REPORT.md");
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("opc corpus: write {json_path}: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&md_path, report.to_markdown()) {
+        eprintln!("opc corpus: write {md_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{}", report.to_markdown());
+    println!("\nwrote {json_path} and {md_path}");
+    let wins = report.families_where_pulse_wins();
+    if check && wins < 3 {
+        eprintln!(
+            "opc corpus: CHECK FAILED — pulse-level compilation beats gate-level \
+             on duration for only {wins}/5 families (need ≥ 3)"
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("serve") => cmd_serve(&argv[1..]),
         Some("submit") => cmd_submit(&argv[1..]),
+        Some("compile") => cmd_compile(&argv[1..]),
+        Some("corpus") => cmd_corpus(&argv[1..]),
         _ => {}
     }
     let args = match parse_args() {

@@ -16,9 +16,12 @@
 //! compile service under a mixed concurrent job stream at 1..N workers
 //! (`service_throughput`: `shots_per_s` is jobs/sec there, with
 //! `p50_ms`/`p99_ms` latency and `dedup_hit_rate` extras, and a fatal
-//! cross-worker-count checksum check). Results — `workload`, `threads`,
-//! `wall_ms`, `shots_per_s`, `speedup` (vs the workload's own baseline
-//! row) — are written to `BENCH_5.json`.
+//! cross-worker-count checksum check), and the generated benchmark
+//! corpus end-to-end on both pools with a fatal cross-pool checksum
+//! check (`corpus_full`, plus per-family `corpus_<family>` rows whose
+//! `speedup` is the gate-over-pulse schedule-duration ratio). Results —
+//! `workload`, `threads`, `wall_ms`, `shots_per_s`, `speedup` (vs the
+//! workload's own baseline row) — are written to `BENCH_6.json`.
 //!
 //! Pooled workloads are always recorded at 1 thread *and* at a scaling
 //! thread count (≥ 2 even on a single-core host, so the fan-out machinery
@@ -716,6 +719,97 @@ fn main() {
         );
     }
 
+    // The generated benchmark corpus, compiled gate-level vs pulse-level
+    // and executed end-to-end through `quant_corpus::run_corpus` — once on
+    // the serial pool, once on the scaling pool, with a fatal cross-pool
+    // checksum check mirroring the service rows' guard. The per-family
+    // rows carry the paper's headline claim: `speedup` there is the
+    // gate-over-pulse schedule-duration ratio, not a wall-clock ratio.
+    {
+        use quant_corpus::{run_corpus, CorpusOptions, Tier};
+        let tier = if smoke { Tier::Smoke } else { Tier::Full };
+        let corpus_shots = if smoke { 256 } else { 2048 };
+        let clock_origin = Instant::now();
+        let options = CorpusOptions {
+            tier,
+            shots: corpus_shots,
+            clock: Some(Arc::new(move || {
+                clock_origin.elapsed().as_millis() as u64
+            })),
+            ..CorpusOptions::default()
+        };
+        let name = if smoke { "corpus_smoke" } else { "corpus_full" };
+        let t = Instant::now();
+        let serial_report = match run_corpus(&options, &serial) {
+            Ok(r) => r,
+            Err(e) => die(format_args!("corpus run (serial): {e}")),
+        };
+        let corpus_serial_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let report = match run_corpus(&options, &pool) {
+            Ok(r) => r,
+            Err(e) => die(format_args!("corpus run (pooled): {e}")),
+        };
+        let corpus_pooled_ms = t.elapsed().as_secs_f64() * 1e3;
+        let (expected, checksum) = (serial_report.checksum(), report.checksum());
+        if expected != checksum {
+            die(format_args!(
+                "corpus results diverged across pools \
+                 ({expected:016x} vs {checksum:016x})"
+            ));
+        }
+        let total_shots = report.circuits.len() * 2 * corpus_shots;
+        record(&mut entries, name, 1, corpus_serial_ms, total_shots, corpus_serial_ms);
+        record(
+            &mut entries,
+            name,
+            pool.threads(),
+            corpus_pooled_ms,
+            total_shots,
+            corpus_serial_ms,
+        );
+
+        for summary in report.family_summaries() {
+            // Compile wall clock summed over the family's circuits (both
+            // flows), from the clock injected above.
+            let compile_ms: u64 = report
+                .circuits
+                .iter()
+                .filter(|c| c.family == summary.family)
+                .map(|c| c.standard.wall_ms.unwrap_or(0) + c.optimized.wall_ms.unwrap_or(0))
+                .sum();
+            let entry = Entry {
+                workload: format!("corpus_{}", summary.family),
+                threads: pool.threads(),
+                wall_ms: compile_ms as f64,
+                shots_per_s: summary.circuits as f64 * 2.0 * corpus_shots as f64
+                    / (corpus_pooled_ms / 1e3),
+                speedup: 1.0 / summary.mean_duration_ratio,
+                extra: vec![
+                    ("mean_duration_ratio", summary.mean_duration_ratio),
+                    ("mean_fid_std", summary.mean_fidelity_standard),
+                    ("mean_fid_opt", summary.mean_fidelity_optimized),
+                ],
+            };
+            println!(
+                "{:<28} threads={:<2} {:>10.1} ms   dur ratio {:.3}   fid {:.4} → {:.4}",
+                entry.workload,
+                entry.threads,
+                entry.wall_ms,
+                summary.mean_duration_ratio,
+                summary.mean_fidelity_standard,
+                summary.mean_fidelity_optimized
+            );
+            entries.push(entry);
+        }
+        println!(
+            "{:<28}            pulse wins duration on {}/{} families (checksum {checksum:016x})",
+            "",
+            report.families_where_pulse_wins(),
+            report.family_summaries().len()
+        );
+    }
+
     let items: Vec<json::Json> = entries
         .iter()
         .map(|e| {
@@ -732,7 +826,7 @@ fn main() {
             json::object(fields)
         })
         .collect();
-    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_5.json" };
+    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_6.json" };
     match std::fs::write(path, json::array(items).pretty()) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path}: {e}"),

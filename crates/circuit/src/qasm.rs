@@ -4,8 +4,10 @@
 //! lets programs enter and leave the compiler as text. Supported subset:
 //! one quantum register, the standard single- and two-qubit gates,
 //! parameter expressions over literals and `pi` with `*`, `/` and unary
-//! minus, `barrier`, and `//` comments. `OPENQASM`/`include` headers are
-//! accepted and ignored.
+//! minus, `barrier`, and `//` comments. `include` headers are accepted
+//! and ignored; `OPENQASM` headers are validated — versions 2.x and 3.x
+//! pass, anything else is a typed [`QasmError`] (the header is optional,
+//! as in the dialect's own history of headerless fragments).
 
 use crate::circuit::Circuit;
 use crate::gate::Gate;
@@ -79,7 +81,11 @@ pub fn parse(source: &str) -> Result<Circuit, QasmError> {
                 line: line_no,
                 column: col_of(stmt),
             };
-            if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+            if let Some(rest) = stmt.strip_prefix("OPENQASM") {
+                check_version_header(rest, pos)?;
+                continue;
+            }
+            if stmt.starts_with("include") {
                 continue;
             }
             if let Some(rest) = stmt.strip_prefix("qreg") {
@@ -109,6 +115,33 @@ pub fn parse(source: &str) -> Result<Circuit, QasmError> {
             "no qreg declaration found",
         )
     })
+}
+
+/// Validates the text after the `OPENQASM` keyword: whitespace, then a
+/// version whose major is `2` or `3` with an optional all-digit minor
+/// (`2`, `2.0`, `3.1`, …). Anything else — a glued suffix (`OPENQASMX`),
+/// a missing version, `1.0`, `2.q` — is a typed error pointing at the
+/// header, so bad headers fail loudly instead of being skipped.
+fn check_version_header(rest: &str, pos: Pos) -> Result<(), QasmError> {
+    let version = rest.trim();
+    if !rest.starts_with(|ch: char| ch.is_whitespace()) || version.is_empty() {
+        return Err(err(
+            pos,
+            "malformed OPENQASM header: expected a version, e.g. `OPENQASM 2.0;`",
+        ));
+    }
+    let (major, minor) = match version.split_once('.') {
+        Some((maj, min)) => (maj, Some(min)),
+        None => (version, None),
+    };
+    let minor_ok = minor.is_none_or(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_digit()));
+    if !matches!(major, "2" | "3") || !minor_ok {
+        return Err(err(
+            pos,
+            format!("unsupported OPENQASM version `{version}` (2.x and 3.x are accepted)"),
+        ));
+    }
+    Ok(())
 }
 
 fn parse_reg(rest: &str, pos: Pos) -> Result<(String, u32), QasmError> {
@@ -468,6 +501,29 @@ mod tests {
             "qreg q[2]; ( q[0];",
         ] {
             assert!(parse(src).is_err(), "accepted: {src}");
+        }
+    }
+
+    #[test]
+    fn version_headers_are_validated() {
+        for src in [
+            "OPENQASM 2.0;\nqreg q[1]; x q[0];",
+            "OPENQASM 2;\nqreg q[1]; x q[0];",
+            "OPENQASM 3.1;\nqreg q[1]; x q[0];",
+            "qreg q[1]; x q[0];", // headerless fragments stay legal
+        ] {
+            assert!(parse(src).is_ok(), "rejected: {src}");
+        }
+        for (src, needle) in [
+            ("OPENQASM 1.0;\nqreg q[1];", "unsupported OPENQASM version"),
+            ("OPENQASM 2.q;\nqreg q[1];", "unsupported OPENQASM version"),
+            ("OPENQASM 2.;\nqreg q[1];", "unsupported OPENQASM version"),
+            ("OPENQASM;\nqreg q[1];", "malformed OPENQASM header"),
+            ("OPENQASMX;\nqreg q[1];", "malformed OPENQASM header"),
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(e.message.contains(needle), "{src}: {}", e.message);
+            assert_eq!((e.line, e.column), (1, 1), "{src}");
         }
     }
 

@@ -1,0 +1,5 @@
+// expect: line=5 col=1
+// expect-contains: expects 2 operand(s), got 1
+OPENQASM 2.0;
+qreg q[2];
+cx q[0];

@@ -1,0 +1,4 @@
+// expect: line=3 col=1
+// expect-contains: unsupported OPENQASM version
+OPENQASM 2.q;
+qreg q[1];

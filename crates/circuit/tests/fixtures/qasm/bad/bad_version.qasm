@@ -1,0 +1,5 @@
+// expect: line=3 col=1
+// expect-contains: unsupported OPENQASM version
+OPENQASM 1.0;
+qreg q[1];
+x q[0];

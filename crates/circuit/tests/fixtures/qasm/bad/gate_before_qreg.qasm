@@ -1,0 +1,4 @@
+// expect: line=4 col=1
+// expect-contains: gate before qreg
+OPENQASM 2.0;
+x q[0];

@@ -1,0 +1,5 @@
+// expect: line=5 col=1
+// expect-contains: out of range
+OPENQASM 2.0;
+qreg q[2];
+x q[5];

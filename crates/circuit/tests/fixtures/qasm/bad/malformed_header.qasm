@@ -1,0 +1,4 @@
+// expect: line=3 col=1
+// expect-contains: malformed OPENQASM header
+OPENQASMX;
+qreg q[1];

@@ -1,0 +1,5 @@
+// expect: line=5 col=1
+// expect-contains: missing parameter
+OPENQASM 2.0;
+qreg q[1];
+u3(pi/2) q[0];

@@ -1,0 +1,4 @@
+// expect: line=3 col=1
+// expect-contains: malformed OPENQASM header
+OPENQASM;
+qreg q[1];

@@ -1,0 +1,3 @@
+// expect: line=0 col=0
+// expect-contains: no qreg declaration
+OPENQASM 2.0;

@@ -1,0 +1,5 @@
+// expect: line=5 col=1
+// expect-contains: not finite
+OPENQASM 2.0;
+qreg q[1];
+rx(inf) q[0];

@@ -1,0 +1,4 @@
+// expect: line=4 col=1
+// expect-contains: exceeds the supported maximum
+OPENQASM 2.0;
+qreg q[4000000000];

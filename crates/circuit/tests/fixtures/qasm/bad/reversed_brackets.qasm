@@ -1,0 +1,4 @@
+// expect: line=4 col=1
+// expect-contains: expected `[` before `]`
+OPENQASM 2.0;
+qreg q]2[;

@@ -1,0 +1,5 @@
+// expect: line=5 col=1
+// expect-contains: only one quantum register
+OPENQASM 2.0;
+qreg q[2];
+qreg r[2];

@@ -1,0 +1,5 @@
+// expect: line=5 col=1
+// expect-contains: unsupported gate `frobnicate`
+OPENQASM 2.0;
+qreg q[2];
+frobnicate q[0];

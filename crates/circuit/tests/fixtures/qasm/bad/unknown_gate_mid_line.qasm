@@ -1,0 +1,3 @@
+// expect: line=3 col=12
+// expect-contains: unsupported gate
+qreg q[2]; frobnicate q[0];

@@ -1,0 +1,4 @@
+qreg q[2];
+h q[0];
+cx q[0], q[1];
+rz(pi/8) q[1];

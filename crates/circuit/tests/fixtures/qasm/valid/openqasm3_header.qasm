@@ -1,0 +1,4 @@
+OPENQASM 3;
+qreg q[2];
+h q[0];
+cz q[0], q[1];

@@ -1,0 +1,8 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+rx(pi/2) q[0];
+rz(-3*pi/4) q[1];
+u3(pi/2, 0, pi) q[2];
+rzz(0.8) q[0], q[1];
+ry(0.25) q[2];

@@ -1,0 +1,116 @@
+//! Fixture-driven QASM parser conformance suite.
+//!
+//! `tests/fixtures/qasm/bad/*.qasm` are malformed programs annotated with
+//! the exact error the parser must produce:
+//!
+//! ```text
+//! // expect: line=4 col=1
+//! // expect-contains: duplicate operand
+//! ```
+//!
+//! `tests/fixtures/qasm/valid/*.qasm` must parse. The same fixture tree
+//! is consumed by `crates/service/tests/qasm_conformance.rs`, which pins
+//! the service frontend to byte-identical accept/reject behavior — add a
+//! fixture here and both frontends are covered.
+
+use quant_circuit::qasm;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/qasm")
+        .join(kind)
+}
+
+/// Sorted fixture list, so failures reproduce in a stable order.
+fn fixtures(kind: &str) -> Vec<PathBuf> {
+    let dir = fixture_dir(kind);
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "qasm"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no fixtures under {}", dir.display());
+    paths
+}
+
+/// Parses `// expect:` / `// expect-contains:` directives.
+fn directives(text: &str, path: &Path) -> ((usize, usize), Vec<String>) {
+    let mut pos = None;
+    let mut contains = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.trim().strip_prefix("// expect:") {
+            let mut lineno = None;
+            let mut col = None;
+            for tok in rest.split_whitespace() {
+                if let Some(v) = tok.strip_prefix("line=") {
+                    lineno = v.parse::<usize>().ok();
+                }
+                if let Some(v) = tok.strip_prefix("col=") {
+                    col = v.parse::<usize>().ok();
+                }
+            }
+            pos = Some((
+                lineno.unwrap_or_else(|| panic!("{}: bad line= directive", path.display())),
+                col.unwrap_or_else(|| panic!("{}: bad col= directive", path.display())),
+            ));
+        }
+        if let Some(rest) = line.trim().strip_prefix("// expect-contains:") {
+            contains.push(rest.trim().to_string());
+        }
+    }
+    (
+        pos.unwrap_or_else(|| panic!("{}: missing `// expect:` directive", path.display())),
+        contains,
+    )
+}
+
+#[test]
+fn bad_fixtures_fail_with_exact_positions() {
+    for path in fixtures("bad") {
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        let ((line, col), contains) = directives(&text, &path);
+        let err = match qasm::parse(&text) {
+            Ok(_) => panic!("{}: parsed successfully, expected an error", path.display()),
+            Err(e) => e,
+        };
+        assert_eq!(
+            (err.line, err.column),
+            (line, col),
+            "{}: wrong position ({})",
+            path.display(),
+            err
+        );
+        for needle in &contains {
+            assert!(
+                err.message.contains(needle),
+                "{}: message `{}` missing `{needle}`",
+                path.display(),
+                err.message
+            );
+        }
+    }
+}
+
+#[test]
+fn valid_fixtures_parse() {
+    for path in fixtures("valid") {
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        let circuit = qasm::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: rejected: {e}", path.display()));
+        assert!(circuit.num_qubits() >= 1);
+    }
+}
+
+#[test]
+fn valid_fixtures_round_trip_through_the_printer() {
+    for path in fixtures("valid") {
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        let circuit = qasm::parse(&text).expect("valid fixture");
+        let printed = qasm::print(&circuit);
+        let reparsed = qasm::parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: printer output rejected: {e}", path.display()));
+        assert_eq!(circuit, reparsed, "{}", path.display());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests over the generated corpus.
+//!
+//! 1. For every smoke-tier circuit (all ≤ 6 qubits), both compilation
+//!    flows produce **bit-identical counts** on the fast executor path vs
+//!    the retained reference path — the corpus rides on the same
+//!    fast-vs-ref contract the kernel equivalence suites enforce. CI runs
+//!    this at `OPC_THREADS=1` and `4`.
+//! 2. Every full-tier circuit survives a QASM print → parse round trip
+//!    op-for-op (the corpus doubles as the emitter's test vector set),
+//!    and the reparsed circuit's unitary matches on small registers.
+//! 3. Trajectory execution of a wide corpus circuit is bit-identical
+//!    across explicit pool sizes (serial vs 4 threads) — the in-process
+//!    witness for the wide path's thread contract.
+
+use pulse_compiler::CompileMode;
+use quant_circuit::qasm;
+use quant_corpus::{
+    compile_circuit, execute_compiled, generate, run_circuit, PipelineConfig, Tier,
+};
+use quant_device::{calibrate, DeviceModel, ShotPool};
+use quant_math::{seeded, stream_seed};
+
+fn backend(width: u32, device_seed: u64) -> (DeviceModel, quant_device::Calibration) {
+    let mut rng = seeded(stream_seed(device_seed, width as u64));
+    let device = DeviceModel::almaden_like(width as usize, &mut rng);
+    let calibration = calibrate(&device, &mut rng);
+    (device, calibration)
+}
+
+#[test]
+fn smoke_circuits_agree_with_the_reference_path_bit_for_bit() {
+    let pool = ShotPool::from_env();
+    for (i, entry) in generate(Tier::Smoke).iter().enumerate() {
+        assert!(entry.width <= 6, "{}: not a density-path circuit", entry.name);
+        let (device, calibration) = backend(entry.width, 7);
+        for mode in [CompileMode::Standard, CompileMode::Optimized] {
+            let base = PipelineConfig {
+                mode,
+                shots: 512,
+                seed: stream_seed(11, i as u64),
+                ..PipelineConfig::default()
+            };
+            let fast = run_circuit(&device, &calibration, &entry.circuit, &base, &pool)
+                .unwrap_or_else(|e| panic!("{} fast: {e}", entry.name));
+            let reference = run_circuit(
+                &device,
+                &calibration,
+                &entry.circuit,
+                &PipelineConfig {
+                    reference: true,
+                    ..base
+                },
+                &pool,
+            )
+            .unwrap_or_else(|e| panic!("{} reference: {e}", entry.name));
+            assert_eq!(
+                fast.counts, reference.counts,
+                "{} ({mode:?}): fast and reference counts diverge",
+                entry.name
+            );
+            assert_eq!(
+                fast.fidelity.to_bits(),
+                reference.fidelity.to_bits(),
+                "{} ({mode:?}): fidelity bits diverge",
+                entry.name
+            );
+            assert_eq!(fast.counts.iter().sum::<u64>(), 512, "{}", entry.name);
+        }
+    }
+}
+
+#[test]
+fn corpus_circuits_round_trip_through_the_qasm_emitter() {
+    for entry in generate(Tier::Full) {
+        let printed = qasm::print(&entry.circuit);
+        let reparsed = qasm::parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: emitter output rejected: {e}", entry.name));
+        assert_eq!(
+            entry.circuit, reparsed,
+            "{}: print→parse is not the identity",
+            entry.name
+        );
+        // On registers small enough to build the unitary, check the round
+        // trip preserves semantics, not just syntax.
+        if entry.width <= 5 {
+            let diff = entry
+                .circuit
+                .unitary()
+                .phase_invariant_diff(&reparsed.unitary());
+            assert!(diff < 1e-12, "{}: unitary drifted by {diff}", entry.name);
+        }
+    }
+}
+
+#[test]
+fn wide_trajectory_counts_are_pool_size_independent() {
+    // qaoa_n8_p1 is the narrowest full-tier circuit past the density
+    // wall; run its optimized compilation under two explicit pools.
+    let entry = generate(Tier::Full)
+        .into_iter()
+        .find(|e| e.name == "qaoa_n8_p1")
+        .expect("qaoa_n8_p1 in full tier");
+    let (device, calibration) = backend(entry.width, 7);
+    let cc = compile_circuit(&device, &calibration, &entry.circuit, CompileMode::Optimized)
+        .expect("compile qaoa_n8_p1");
+    let config = PipelineConfig {
+        shots: 256,
+        trajectories: 8,
+        seed: 13,
+        ..PipelineConfig::default()
+    };
+    let (kind_serial, serial) =
+        execute_compiled(&device, &cc, &config, &ShotPool::serial()).expect("serial run");
+    let (kind_pooled, pooled) =
+        execute_compiled(&device, &cc, &config, &ShotPool::new(4)).expect("pooled run");
+    assert_eq!(kind_serial.name(), "trajectory");
+    assert_eq!(kind_pooled.name(), "trajectory");
+    assert_eq!(serial, pooled, "trajectory counts depend on the pool size");
+    assert_eq!(serial.iter().sum::<u64>(), 256);
+}

@@ -1,0 +1,85 @@
+//! The standing corpus regression ratchet.
+//!
+//! Renders the smoke-tier corpus (fixed seeds, no clock) as golden text
+//! and compares it bit-exactly against the committed summary in
+//! `crates/corpus/golden/corpus_smoke.txt`. Any drift — longer schedules,
+//! lower fidelities, different counts — fails with a field-level diff
+//! that names the regression.
+//!
+//! CI runs this at `OPC_THREADS=1` and `OPC_THREADS=4` against the same
+//! golden file, so it doubles as the cross-thread bit-identity gate for
+//! the whole pipeline (routing, compilation, calibration, execution,
+//! sampling).
+//!
+//! To re-bless after a deliberate change:
+//!
+//! ```text
+//! OPC_CORPUS_BLESS=1 cargo test -p quant-corpus --test corpus_regression
+//! ```
+
+use quant_corpus::{golden, run_corpus, CorpusOptions};
+use quant_device::ShotPool;
+use std::path::Path;
+
+#[test]
+fn smoke_corpus_matches_committed_golden() {
+    let report = run_corpus(&CorpusOptions::default(), &ShotPool::from_env())
+        .expect("smoke corpus run");
+    let current = golden::render(&report);
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/corpus_smoke.txt");
+    if std::env::var("OPC_CORPUS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &current).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(no committed golden — run once with OPC_CORPUS_BLESS=1)",
+            path.display()
+        )
+    });
+    let diffs = golden::diff(&committed, &current);
+    assert!(
+        diffs.is_empty(),
+        "smoke corpus drifted from the committed golden \
+         ({} difference(s); re-bless with OPC_CORPUS_BLESS=1 if deliberate):\n{}",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn smoke_corpus_meets_the_paper_claim() {
+    // The acceptance bar: pulse-level compilation beats gate-level on
+    // schedule duration for at least 3 of the 5 families.
+    let report = run_corpus(&CorpusOptions::default(), &ShotPool::from_env())
+        .expect("smoke corpus run");
+    let wins = report.families_where_pulse_wins();
+    assert!(
+        wins >= 3,
+        "pulse-level wins duration on only {wins}/5 families:\n{}",
+        report.to_markdown()
+    );
+    // And never at a catastrophic fidelity cost.
+    for summary in report.family_summaries() {
+        assert!(
+            summary.mean_fidelity_optimized >= summary.mean_fidelity_standard - 0.05,
+            "{}: optimized fidelity {} collapsed vs standard {}",
+            summary.family,
+            summary.mean_fidelity_optimized,
+            summary.mean_fidelity_standard
+        );
+    }
+}
+
+#[test]
+fn report_checksum_is_reproducible_in_process() {
+    let opts = CorpusOptions::default();
+    let a = run_corpus(&opts, &ShotPool::from_env()).expect("first run");
+    let b = run_corpus(&opts, &ShotPool::from_env()).expect("second run");
+    assert_eq!(a.checksum(), b.checksum(), "corpus run is not a pure function");
+    assert_eq!(golden::render(&a), golden::render(&b));
+}

@@ -9,6 +9,7 @@
 //! ```
 
 pub use pulse_compiler as compiler;
+pub use quant_corpus as corpus;
 pub use quant_algos as algorithms;
 pub use quant_char as characterization;
 pub use quant_circuit as circuit;
