@@ -414,6 +414,7 @@ fn cmd_compile(rest: &[String]) -> ! {
     let mut config = PipelineConfig::default();
     let mut path: Option<String> = None;
     let mut device_seed = 7u64;
+    let mut trajectories_requested = false;
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         let mut take = |what: &str| -> String {
@@ -437,7 +438,8 @@ fn cmd_compile(rest: &[String]) -> ! {
             "--trajectories" => {
                 config.trajectories = take("--trajectories")
                     .parse()
-                    .unwrap_or_else(|_| die("--trajectories needs an integer"))
+                    .unwrap_or_else(|_| die("--trajectories needs an integer"));
+                trajectories_requested = true;
             }
             "--noiseless" => config.noisy = false,
             "--help" | "-h" => die(
@@ -495,6 +497,14 @@ fn cmd_compile(rest: &[String]) -> ! {
         run.duration_dt as f64 * DT * 1e6
     );
     println!("{}", run.compiled.program.schedule.ascii_art(72));
+    if trajectories_requested && run.executor == quant_corpus::ExecutorKind::Density {
+        eprintln!(
+            "opc compile: warning: --trajectories {} ignored — {} qubits fits the exact \
+             density-matrix executor, which takes no trajectory count",
+            config.trajectories,
+            circuit.num_qubits(),
+        );
+    }
     println!(
         "execution ({} shots, {}, {} backend): Hellinger fidelity {:.4}",
         config.shots,

@@ -9,8 +9,14 @@
 //! (cold at 1 and N threads, plus a warm snapshot load), the
 //! density-matrix stride kernels against their embed-based reference on
 //! 2–6 qubit registers, the trajectory executor on 8–20-qubit QAOA layers
-//! (retained serial-naive reference vs the stride-kernel path at 1 and N
-//! threads, past the `O(4ⁿ)` density wall), the propagator hot loop
+//! (retained serial-naive reference vs the unfused stride-kernel path at
+//! 1 and N threads, past the `O(4ⁿ)` density wall, plus `fusion_n{n}`
+//! rows timing the gate-fusion plan-replay route against the unfused
+//! kernel baseline — with a fatal fused-vs-reference count-checksum gate
+//! at a fixed root), the 20-qubit QAOA headline both unfused
+//! (`qaoa20_trajectory_workload`, comparable to earlier BENCH files) and
+//! fused (`qaoa20_trajectory_fused`, whose `speedup` column is the
+//! fusion win), the propagator hot loop
 //! (eigendecomposition reference vs the Taylor scratch used by the
 //! integrators), a θ-sweep with the pulse cache off vs on, and the
 //! compile service under a mixed concurrent job stream at 1..N workers
@@ -21,7 +27,7 @@
 //! check (`corpus_full`, plus per-family `corpus_<family>` rows whose
 //! `speedup` is the gate-over-pulse schedule-duration ratio). Results —
 //! `workload`, `threads`, `wall_ms`, `shots_per_s`, `speedup` (vs the
-//! workload's own baseline row) — are written to `BENCH_6.json`.
+//! workload's own baseline row) — are written to `BENCH_7.json`.
 //!
 //! Pooled workloads are always recorded at 1 thread *and* at a scaling
 //! thread count (≥ 2 even on a single-core host, so the fan-out machinery
@@ -197,22 +203,55 @@ fn density_kernel_workload(n: usize, reference: bool, rounds: usize) -> usize {
 /// `O(2ⁿ)` categorical scan per shot); the fast route runs stride kernels,
 /// run-compressed stack-array integration, in-place branch weighing and
 /// binary-search sampling on a per-trajectory cumulative distribution.
+#[derive(Clone, Copy, PartialEq)]
+enum TrajRoute {
+    /// Retained reference route: skip-scan kernels, per-sample pulse
+    /// integration, clone-per-branch channel sampling.
+    Reference,
+    /// Unfused stride-kernel path (`OPC_FUSION=0`).
+    Kernel,
+    /// Gate-fusion plan-replay path (`OPC_FUSION=1`).
+    Fused,
+}
+
+/// Runs the workload once and returns the counts (fixed root 41, so every
+/// route must agree bit-for-bit; the fusion rows assert it).
+fn trajectory_counts(
+    program: &LoweredProgram,
+    device: &DeviceModel,
+    trajectories: usize,
+    shots: usize,
+    route: TrajRoute,
+    pool: &ShotPool,
+) -> Vec<u64> {
+    let exec = TrajectoryExecutor::new(device, trajectories);
+    let exec = match route {
+        TrajRoute::Reference => exec.with_reference_path(),
+        TrajRoute::Kernel => exec.with_fusion(false),
+        TrajRoute::Fused => exec.with_fusion(true),
+    };
+    match exec.try_run_pooled(program, shots, 41, pool) {
+        Ok(counts) => counts,
+        Err(e) => die(format_args!("trajectory workload failed: {e}")),
+    }
+}
+
 fn trajectory_workload(
     program: &LoweredProgram,
     device: &DeviceModel,
     trajectories: usize,
     shots: usize,
-    naive: bool,
+    route: TrajRoute,
     pool: &ShotPool,
 ) -> usize {
-    let mut exec = TrajectoryExecutor::new(device, trajectories);
-    if naive {
-        exec = exec.with_reference_path();
-    }
-    match exec.try_run_pooled(program, shots, 41, pool) {
-        Ok(counts) => std::hint::black_box(counts),
-        Err(e) => die(format_args!("trajectory workload failed: {e}")),
-    };
+    std::hint::black_box(trajectory_counts(
+        program,
+        device,
+        trajectories,
+        shots,
+        route,
+        pool,
+    ));
     shots
 }
 
@@ -575,7 +614,14 @@ fn main() {
         let program = trajectory_program(&setup, n, CompileMode::Standard);
         let best = if smoke || n >= 16 { 1 } else { 2 };
         let (s, naive_ms) = time_best(best, || {
-            trajectory_workload(&program, &setup.device, trajectories, shots, true, &serial)
+            trajectory_workload(
+                &program,
+                &setup.device,
+                trajectories,
+                shots,
+                TrajRoute::Reference,
+                &serial,
+            )
         });
         record(
             &mut entries,
@@ -585,12 +631,26 @@ fn main() {
             s,
             naive_ms,
         );
-        let (s, ms) = time_best(best, || {
-            trajectory_workload(&program, &setup.device, trajectories, shots, false, &serial)
+        let (s, kernel_ms) = time_best(best, || {
+            trajectory_workload(
+                &program,
+                &setup.device,
+                trajectories,
+                shots,
+                TrajRoute::Kernel,
+                &serial,
+            )
         });
-        record(&mut entries, format!("trajectory_n{n}_kernel"), 1, ms, s, naive_ms);
+        record(&mut entries, format!("trajectory_n{n}_kernel"), 1, kernel_ms, s, naive_ms);
         let (s, ms) = time_best(best, || {
-            trajectory_workload(&program, &setup.device, trajectories, shots, false, &pool)
+            trajectory_workload(
+                &program,
+                &setup.device,
+                trajectories,
+                shots,
+                TrajRoute::Kernel,
+                &pool,
+            )
         });
         record(
             &mut entries,
@@ -600,20 +660,94 @@ fn main() {
             s,
             naive_ms,
         );
+        // Gate fusion vs the unfused kernel path on the same layer: the
+        // `speedup` column is the fusion win. Before timing, gate on
+        // correctness once per suite (n = 12 full, the smoke size in
+        // smoke mode): the fused and reference routes must produce the
+        // same counts at the fixed root — checksum divergence is fatal,
+        // not a slow row. (n = 20 reference runs take minutes; the
+        // determinism test suite pins the contract at every size class.)
+        if n == 12 || smoke {
+            let fused = trajectory_counts(
+                &program,
+                &setup.device,
+                trajectories,
+                shots,
+                TrajRoute::Fused,
+                &serial,
+            );
+            let reference = trajectory_counts(
+                &program,
+                &setup.device,
+                trajectories,
+                shots,
+                TrajRoute::Reference,
+                &serial,
+            );
+            let (a, b) = (
+                quant_corpus::report::counts_checksum(&fused),
+                quant_corpus::report::counts_checksum(&reference),
+            );
+            if a != b {
+                die(format_args!(
+                    "fused counts diverged from the reference path at n={n}, \
+                     root 41 ({a:016x} vs {b:016x})"
+                ));
+            }
+        }
+        let (s, ms) = time_best(best, || {
+            trajectory_workload(
+                &program,
+                &setup.device,
+                trajectories,
+                shots,
+                TrajRoute::Fused,
+                &serial,
+            )
+        });
+        record(&mut entries, format!("fusion_n{n}"), 1, ms, s, kernel_ms);
+        let (s, ms) = time_best(best, || {
+            trajectory_workload(
+                &program,
+                &setup.device,
+                trajectories,
+                shots,
+                TrajRoute::Fused,
+                &pool,
+            )
+        });
+        record(&mut entries, format!("fusion_n{n}"), pool.threads(), ms, s, kernel_ms);
     }
 
     // The paper-class 20-qubit workload end to end: the optimized-flow
     // QAOA MAXCUT layer at Almaden scale, a trajectory ensemble deep
-    // enough to sample from. The acceptance bar is staying well under a
-    // minute on a single core; `speedup` is 1.0 by construction (the row
-    // is its own baseline).
+    // enough to sample from. `qaoa20_trajectory_workload` stays on the
+    // unfused kernel route (comparable with earlier BENCH files; `speedup`
+    // is 1.0 by construction) and the `qaoa20_trajectory_fused` rows time
+    // gate fusion against it — their `speedup` column is the headline
+    // fusion win.
     if !smoke {
         let setup = Setup::almaden(20, 7_020);
         let program = trajectory_program(&setup, 20, CompileMode::Optimized);
-        let (s, ms) = time_best(1, || {
-            trajectory_workload(&program, &setup.device, 8, 2048, false, &pool)
+        let (s, unfused_ms) = time_best(1, || {
+            trajectory_workload(&program, &setup.device, 8, 2048, TrajRoute::Kernel, &pool)
         });
-        record(&mut entries, "qaoa20_trajectory_workload", pool.threads(), ms, s, ms);
+        record(
+            &mut entries,
+            "qaoa20_trajectory_workload",
+            pool.threads(),
+            unfused_ms,
+            s,
+            unfused_ms,
+        );
+        let (s, ms) = time_best(1, || {
+            trajectory_workload(&program, &setup.device, 8, 2048, TrajRoute::Fused, &serial)
+        });
+        record(&mut entries, "qaoa20_trajectory_fused", 1, ms, s, unfused_ms);
+        let (s, ms) = time_best(1, || {
+            trajectory_workload(&program, &setup.device, 8, 2048, TrajRoute::Fused, &pool)
+        });
+        record(&mut entries, "qaoa20_trajectory_fused", pool.threads(), ms, s, unfused_ms);
     }
 
     // Propagator hot loop: eigendecomposition reference vs Taylor scratch.
@@ -826,7 +960,7 @@ fn main() {
             json::object(fields)
         })
         .collect();
-    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_6.json" };
+    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_7.json" };
     match std::fs::write(path, json::array(items).pretty()) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path}: {e}"),

@@ -10,7 +10,7 @@ use pulse_compiler::{CompileMode, Compiler};
 use quant_algos::LineGraph;
 use quant_char::{counts_to_distribution, hellinger_distance, Mitigator};
 use quant_circuit::Circuit;
-use quant_device::{calibrate, Calibration, DeviceModel, PulseExecutor};
+use quant_device::{calibrate, Calibration, DeviceModel, PulseExecutor, ShotPool, TrajectoryExecutor};
 use quant_math::seeded;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -208,6 +208,50 @@ impl Comparison {
     }
 }
 
+/// `run_noisy` for registers past the density wall: compiles and runs the
+/// circuit through the stochastic trajectory executor (gate fusion and the
+/// reference-path routing follow the executor's `OPC_FUSION` contract),
+/// samples `shots` with readout noise, and applies the same mitigation.
+/// The counts depend only on `(program, shots, root)` — never on `pool`.
+pub fn run_noisy_trajectory(
+    setup: &Setup,
+    circuit: &Circuit,
+    mode: CompileMode,
+    trajectories: usize,
+    shots: usize,
+    root: u64,
+    pool: &ShotPool,
+) -> RunResult {
+    let compiled = match Compiler::new(&setup.device, &setup.calibration, mode).compile(circuit) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("repro-bench: trajectory compile failed: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    let counts = match TrajectoryExecutor::new(&setup.device, trajectories).try_run_pooled(
+        &compiled.program,
+        shots,
+        root,
+        pool,
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("repro-bench: trajectory run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let measured = counts_to_distribution(&counts);
+    let mitigated = setup
+        .mitigator(circuit.num_qubits() as usize)
+        .mitigate(&measured);
+    RunResult {
+        distribution: mitigated,
+        duration: compiled.duration(),
+        pulse_count: compiled.pulse_count(),
+    }
+}
+
 /// Runs a benchmark circuit through both flows and scores each against the
 /// ideal distribution.
 pub fn compare_flows(setup: &Setup, circuit: &Circuit, shots: usize, seed: u64) -> Comparison {
@@ -215,6 +259,45 @@ pub fn compare_flows(setup: &Setup, circuit: &Circuit, shots: usize, seed: u64) 
     let mut rng = seeded(seed);
     let std = run_noisy(setup, circuit, CompileMode::Standard, shots, &mut rng);
     let opt = run_noisy(setup, circuit, CompileMode::Optimized, shots, &mut rng);
+    Comparison {
+        error_standard: hellinger_distance(&ideal, &std.distribution),
+        error_optimized: hellinger_distance(&ideal, &opt.distribution),
+        duration_standard: std.duration,
+        duration_optimized: opt.duration,
+    }
+}
+
+/// `compare_flows` for wide registers: both flows run through the
+/// trajectory executor on the same root, so the standard-vs-optimized
+/// comparison reaches the 10–16-qubit linear topologies the exact density
+/// path cannot hold.
+pub fn compare_flows_trajectory(
+    setup: &Setup,
+    circuit: &Circuit,
+    trajectories: usize,
+    shots: usize,
+    root: u64,
+    pool: &ShotPool,
+) -> Comparison {
+    let ideal = circuit.output_distribution();
+    let std = run_noisy_trajectory(
+        setup,
+        circuit,
+        CompileMode::Standard,
+        trajectories,
+        shots,
+        root,
+        pool,
+    );
+    let opt = run_noisy_trajectory(
+        setup,
+        circuit,
+        CompileMode::Optimized,
+        trajectories,
+        shots,
+        root.wrapping_add(1),
+        pool,
+    );
     Comparison {
         error_standard: hellinger_distance(&ideal, &std.distribution),
         error_optimized: hellinger_distance(&ideal, &opt.distribution),

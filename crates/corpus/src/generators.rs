@@ -85,8 +85,10 @@ pub struct CorpusEntry {
 /// Corpus size tier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Tier {
-    /// Small widths (≤ 4 qubits), one or two instances per family — the
-    /// CI tier backing the committed golden summaries.
+    /// Small widths (≤ 4 qubits), one or two instances per family, plus
+    /// one 10-qubit QAOA line that crosses the density wall so the
+    /// trajectory (and fusion) path is exercised by the committed golden
+    /// summaries this tier backs in CI.
     Smoke,
     /// The full 50+-circuit corpus at growing widths (up to 10 qubits,
     /// trajectory-executed past the density wall).
@@ -285,6 +287,10 @@ pub fn generate(tier: Tier) -> Vec<CorpusEntry> {
             for n in 2..=4u32 {
                 push(Family::Qaoa, format!("qaoa_n{n}_p1"), qaoa_line(n, 1));
             }
+            // One wide instance past the density wall (> 6 qubits): the
+            // smoke golden then pins the trajectory executor — and the
+            // gate-fusion plan it replays — not just the density path.
+            push(Family::Qaoa, "qaoa_n10_p1".into(), qaoa_line(10, 1));
             for n in 2..=4u32 {
                 push(Family::Vqe, format!("vqe_n{n}_d1_s1"), vqe_line(n, 1, 1));
             }
@@ -405,8 +411,13 @@ mod tests {
     #[test]
     fn corpus_tiers_have_expected_shape() {
         let smoke = generate(Tier::Smoke);
-        assert_eq!(smoke.len(), 13);
-        assert!(smoke.iter().all(|e| e.width <= 4));
+        assert_eq!(smoke.len(), 14);
+        assert_eq!(
+            smoke.iter().filter(|e| e.width > 4).count(),
+            1,
+            "smoke keeps exactly one wide (trajectory-path) circuit"
+        );
+        assert!(smoke.iter().any(|e| e.width == 10 && e.family == Family::Qaoa));
 
         let full = generate(Tier::Full);
         assert!(

@@ -113,6 +113,10 @@ pub struct PipelineConfig {
     /// Route both executors through their retained reference
     /// implementations (slow; equivalence tests only).
     pub reference: bool,
+    /// Gate fusion on the trajectory path: `None` inherits the
+    /// `OPC_FUSION` environment default, `Some(_)` forces it. Ignored on
+    /// the density path and the reference route.
+    pub fusion: Option<bool>,
 }
 
 impl Default for PipelineConfig {
@@ -125,6 +129,7 @@ impl Default for PipelineConfig {
             density_max_qubits: 6,
             trajectories: 16,
             reference: false,
+            fusion: None,
         }
     }
 }
@@ -211,6 +216,9 @@ pub fn execute_compiled(
         Ok((ExecutorKind::Density, counts))
     } else {
         let mut exec = TrajectoryExecutor::new(device, config.trajectories);
+        if let Some(fusion) = config.fusion {
+            exec = exec.with_fusion(fusion);
+        }
         if config.reference {
             exec = exec.with_reference_path();
         }

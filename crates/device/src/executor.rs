@@ -672,7 +672,15 @@ impl ShotPool {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(local) => local,
+                    // Re-raise a worker panic with its original payload
+                    // instead of double-panicking on an opaque `Any`.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
         });
         let mut indexed: Vec<(usize, T)> = partials.drain(..).flatten().collect();
         indexed.sort_unstable_by_key(|&(i, _)| i);

@@ -187,7 +187,9 @@ impl CrPair {
             }
             match &ti.instruction {
                 Instruction::ShiftPhase { phase, .. } => {
-                    *frames.get_mut(&ch).unwrap() += phase;
+                    if let Some(frame) = frames.get_mut(&ch) {
+                        *frame += phase;
+                    }
                 }
                 Instruction::Play { waveform, .. } => {
                     let phase = frames[&ch];

@@ -9,6 +9,15 @@
 //! These tests pin that down so a kernel or scheduler change cannot
 //! silently reorder randomness, and check the ensemble still converges to
 //! the exact density-matrix distribution.
+//!
+//! With gate fusion (`OPC_FUSION`) the same contract extends a third way:
+//! the fused route replays a hoisted plan but spends every random draw at
+//! the same program point with the same (to rounding) branch weights, so
+//! its counts must match the unfused and reference routes bit-for-bit at
+//! a fixed root too. CI runs this suite across the full
+//! `OPC_FUSION={0,1} × OPC_THREADS={1,4}` matrix; the explicit fusion
+//! test below pins all three routes against each other regardless of the
+//! ambient knob.
 
 use quant_device::{
     calibrate, Block, DeviceModel, ExecError, LoweredProgram, PulseExecutor, ShotPool,
@@ -87,6 +96,58 @@ fn kernel_path_reproduces_reference_counts_bit_identically() {
             .try_run_pooled(&program, 1500, root, &ShotPool::new(1))
             .unwrap();
         assert_eq!(a, b, "kernel swap changed the counts at root {root:#x}");
+    }
+}
+
+#[test]
+fn fused_route_matches_unfused_and_reference_at_any_thread_count() {
+    // The strongest form of the contract: at a fixed root, the fused
+    // plan-replay route, the unfused per-gate route, and the reference
+    // route must all return the same counts, and the fused route must not
+    // care how many threads replay the plan. The program mixes 1Q gates,
+    // a CNOT chain (block growth + merge + close) and an explicit idle
+    // (a relaxation table entry no gate emits).
+    let mut rng = seeded(47);
+    let device = DeviceModel::almaden_like(4, &mut rng);
+    let mut program = line_program(&device, 4);
+    program.blocks.push(Block::Idle {
+        qubit: 1,
+        duration: 3_000,
+    });
+
+    let shots = 1800;
+    for root in [0x00DD_5EED_u64, 0xFACE] {
+        let fused = TrajectoryExecutor::new(&device, 6)
+            .with_fusion(true)
+            .try_run_pooled(&program, shots, root, &ShotPool::new(1))
+            .unwrap();
+        assert_eq!(fused.iter().sum::<u64>(), shots as u64);
+        for threads in [2, 4] {
+            let threaded = TrajectoryExecutor::new(&device, 6)
+                .with_fusion(true)
+                .try_run_pooled(&program, shots, root, &ShotPool::new(threads))
+                .unwrap();
+            assert_eq!(
+                threaded, fused,
+                "{threads}-thread fused counts diverged at root {root:#x}"
+            );
+        }
+        let unfused = TrajectoryExecutor::new(&device, 6)
+            .with_fusion(false)
+            .try_run_pooled(&program, shots, root, &ShotPool::new(1))
+            .unwrap();
+        assert_eq!(
+            fused, unfused,
+            "fusion changed the counts at root {root:#x}"
+        );
+        let reference = TrajectoryExecutor::new(&device, 6)
+            .with_reference_path()
+            .try_run_pooled(&program, shots, root, &ShotPool::new(1))
+            .unwrap();
+        assert_eq!(
+            fused, reference,
+            "fused counts diverged from the reference path at root {root:#x}"
+        );
     }
 }
 

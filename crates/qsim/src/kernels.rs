@@ -32,6 +32,12 @@ pub struct TargetIndex {
     total: usize,
     offsets: Vec<usize>,
     bases: Vec<usize>,
+    /// Length of the stride-1 runs in `bases`: the stride of the
+    /// lowest-index target. Every subsystem below the lowest target is
+    /// free, so consecutive base indices come in contiguous runs of this
+    /// length — the chunked kernels turn each run into stride-1 slice
+    /// arithmetic.
+    run: usize,
 }
 
 impl TargetIndex {
@@ -86,11 +92,18 @@ impl TargetIndex {
             }
         }
 
+        let run = targets
+            .iter()
+            .map(|&t| strides[t])
+            .min()
+            .unwrap_or(total.max(1));
+
         TargetIndex {
             gate_dim,
             total,
             offsets,
             bases,
+            run,
         }
     }
 
@@ -265,10 +278,17 @@ impl KernelScratch {
     /// kernel, O(d·k) for a k-dim gate on a d-dim register.
     ///
     /// Gate-dimension 2 and 4 (the 1q/2q qubit gates that dominate
-    /// trajectory workloads) run specialized loops with the operator
-    /// entries hoisted into locals, so the per-fibre body is branch-free
-    /// and autovectorization-friendly; other dimensions take a generic
-    /// gather/transform/scatter path through the scratch.
+    /// unfused trajectory workloads) run specialized loops with the
+    /// operator entries hoisted into locals, so the per-fibre body is
+    /// branch-free and autovectorization-friendly. Larger fused blocks
+    /// whose lowest target sits above enough free subsystems take the
+    /// chunked pass ([`sv_apply_blocked`]): fibres are processed in
+    /// contiguous stride-1 runs (gather run → dense AXPY rows → scatter
+    /// run), which keeps the innermost loop over consecutive memory.
+    /// Gate-dimension 8 and 16 (fused 3- and 4-qubit qubit blocks) have
+    /// dedicated per-fibre loops for the `run = 1` layouts the chunked
+    /// pass cannot help; everything else falls back to the generic
+    /// gather/transform/scatter path.
     ///
     /// # Panics
     ///
@@ -287,6 +307,9 @@ impl KernelScratch {
         match idx.gate_dim {
             2 => sv_apply_k2(amps, op, idx),
             4 => sv_apply_k4(amps, op, idx),
+            d if d > 4 && idx.run >= 4 => sv_apply_blocked(amps, op, idx, &mut self.block),
+            8 => sv_apply_k8(amps, op, idx),
+            16 => sv_apply_k16(amps, op, idx),
             _ => sv_apply_generic(amps, op, idx, &mut self.block),
         }
     }
@@ -354,6 +377,57 @@ impl KernelScratch {
             }
         }
         total
+    }
+
+    /// Writes the reduced density matrix of the listed targets (partial
+    /// trace over everything else) into `rho` — `rho[g,h] = Σ_base
+    /// ψ[base+off_g]·conj(ψ[base+off_h])`, O(d·k) memory traffic for a
+    /// k-dim subspace of a d-dim register. `rho` must already be k×k; it
+    /// is overwritten.
+    ///
+    /// The state need not be normalized; `Tr(rho)` equals `‖ψ‖²`. This is
+    /// what lets the fused trajectory path weigh local Kraus branches
+    /// against a small matrix instead of sweeping the full state per
+    /// branch.
+    pub fn reduced_density_state(
+        &mut self,
+        amps: &[C64],
+        targets: &[usize],
+        dims: &[usize],
+        rho: &mut CMat,
+    ) {
+        let i = self.ensure_index(targets, dims);
+        let idx = &self.indices[i].index;
+        assert_eq!(amps.len(), idx.total, "state length mismatch");
+        let k = idx.gate_dim;
+        assert!(
+            rho.rows() == k && rho.cols() == k,
+            "reduced-density output must be {k}×{k}"
+        );
+        rho.set_zero();
+        // Gather the k target amplitudes once per base, then accumulate
+        // only the upper triangle: ρ is Hermitian, and `conj` / the
+        // swapped-operand product are exact in IEEE arithmetic, so
+        // mirroring reproduces the naive double loop bit-for-bit at half
+        // the flops and one gather pass instead of k.
+        self.block.clear();
+        self.block.resize(k, C64::ZERO);
+        for &base in &idx.bases {
+            for (g, &go) in idx.offsets.iter().enumerate() {
+                self.block[g] = amps[base + go];
+            }
+            for g in 0..k {
+                let ag = self.block[g];
+                for h in g..k {
+                    rho[(g, h)] += ag * self.block[h].conj();
+                }
+            }
+        }
+        for g in 0..k {
+            for h in 0..g {
+                rho[(g, h)] = rho[(h, g)].conj();
+            }
+        }
     }
 
     /// `Tr(ρ·Ô)` where `Ô` is `op` embedded on `targets` — O(d·k).
@@ -486,6 +560,86 @@ fn sv_apply_k4(amps: &mut [C64], op: &CMat, idx: &TargetIndex) {
     }
 }
 
+/// 8-dim state kernel (fused 3-qubit block): gathered amplitudes and the
+/// operator in fixed-size stack arrays, fully unrollable row loops.
+fn sv_apply_k8(amps: &mut [C64], op: &CMat, idx: &TargetIndex) {
+    let mut u = [C64::ZERO; 64];
+    for (r, row) in u.chunks_exact_mut(8).enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = op[(r, c)];
+        }
+    }
+    let mut a = [C64::ZERO; 8];
+    for &base in &idx.bases {
+        for (slot, &off) in a.iter_mut().zip(&idx.offsets) {
+            *slot = amps[base + off];
+        }
+        for (row, &off) in u.chunks_exact(8).zip(&idx.offsets) {
+            let mut acc = C64::ZERO;
+            for (&coeff, &v) in row.iter().zip(&a) {
+                acc += coeff * v;
+            }
+            amps[base + off] = acc;
+        }
+    }
+}
+
+/// 16-dim state kernel (fused 4-qubit block): same shape as the 8-dim
+/// loop with the operator staged into a dense stack array.
+fn sv_apply_k16(amps: &mut [C64], op: &CMat, idx: &TargetIndex) {
+    let mut u = [C64::ZERO; 256];
+    for (r, row) in u.chunks_exact_mut(16).enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = op[(r, c)];
+        }
+    }
+    let mut a = [C64::ZERO; 16];
+    for &base in &idx.bases {
+        for (slot, &off) in a.iter_mut().zip(&idx.offsets) {
+            *slot = amps[base + off];
+        }
+        for (row, &off) in u.chunks_exact(16).zip(&idx.offsets) {
+            let mut acc = C64::ZERO;
+            for (&coeff, &v) in row.iter().zip(&a) {
+                acc += coeff * v;
+            }
+            amps[base + off] = acc;
+        }
+    }
+}
+
+/// Chunked state kernel for fused blocks: bases whose lowest target sits
+/// above `run` free low subsystems come in contiguous stride-1 runs, so
+/// each run is processed as whole slices — gather `k` runs, rebuild each
+/// as an AXPY over the gathered runs, scatter back. The innermost loop
+/// walks consecutive memory, which is what lets rustc autovectorize it.
+fn sv_apply_blocked(amps: &mut [C64], op: &CMat, idx: &TargetIndex, gather: &mut Vec<C64>) {
+    let k = idx.gate_dim;
+    let run = idx.run;
+    debug_assert_eq!(idx.bases.len() % run, 0, "bases must tile into runs");
+    gather.resize(k * run, C64::ZERO);
+    for chunk in idx.bases.chunks_exact(run) {
+        let base = chunk[0];
+        debug_assert_eq!(chunk[run - 1], base + run - 1, "run must be contiguous");
+        for (g, &off) in idx.offsets.iter().enumerate() {
+            gather[g * run..(g + 1) * run].copy_from_slice(&amps[base + off..][..run]);
+        }
+        for (g, &off) in idx.offsets.iter().enumerate() {
+            let dst = &mut amps[base + off..][..run];
+            dst.fill(C64::ZERO);
+            for (h, src) in gather.chunks_exact(run).enumerate() {
+                let coeff = op[(g, h)];
+                if coeff == C64::ZERO {
+                    continue;
+                }
+                for (o, &s) in dst.iter_mut().zip(src) {
+                    *o += coeff * s;
+                }
+            }
+        }
+    }
+}
+
 /// Generic state kernel: gather the k fibre amplitudes into the scratch,
 /// transform, scatter back.
 fn sv_apply_generic(amps: &mut [C64], op: &CMat, idx: &TargetIndex, gather: &mut Vec<C64>) {
@@ -539,6 +693,53 @@ mod tests {
         assert_eq!(idx.gate_dim(), 4);
         assert_eq!(idx.offsets, vec![0, 6, 1, 7]);
         assert_eq!(idx.bases, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn fused_block_kernels_match_reference_apply() {
+        // An 8-dim operator applied low (run = 1 → dedicated k8 loop) and
+        // high (run = 4 → chunked blocked pass) on a 5-qubit register,
+        // cross-checked against the skip-scan reference apply.
+        let op = gates::h().kron(&gates::ry(0.3)).kron(&gates::x());
+        let mut base = crate::StateVector::zero_qubits(5);
+        base.apply_unitary(&gates::h(), &[0]);
+        base.apply_unitary(&gates::cnot(), &[0, 3]);
+        base.apply_unitary(&gates::ry(0.9), &[4]);
+        base.apply_unitary(&gates::cnot(), &[4, 1]);
+        for targets in [[0usize, 1, 2], [2, 3, 4], [4, 2, 3]] {
+            let mut fast = base.clone();
+            let mut slow = base.clone();
+            let mut scratch = KernelScratch::new();
+            fast.apply_unitary_scratch(&op, &targets, &mut scratch);
+            slow.apply_unitary_ref(&op, &targets);
+            let diff = fast
+                .amplitudes()
+                .iter()
+                .zip(slow.amplitudes())
+                .map(|(a, b)| (*a - *b).norm_sqr().sqrt())
+                .fold(0.0f64, f64::max);
+            assert!(diff < 1e-12, "targets {targets:?}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn reduced_density_state_matches_single_subsystem_route() {
+        let mut psi = crate::StateVector::zero_qubits(3);
+        psi.apply_unitary(&gates::h(), &[0]);
+        psi.apply_unitary(&gates::cnot(), &[0, 2]);
+        psi.apply_unitary(&gates::ry(0.4), &[1]);
+        let mut scratch = KernelScratch::new();
+        for q in 0..3 {
+            let fast = psi.reduced_density_on(&[q], &mut scratch);
+            let slow = psi.reduced_density(q);
+            assert!(fast.max_abs_diff(&slow) < 1e-12, "qubit {q}");
+        }
+        // Two-subsystem reduction: trace equals the squared norm and the
+        // Bell pair over {0,2} is maximally entangled.
+        let rho = psi.reduced_density_on(&[0, 2], &mut scratch);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho[(0, 0)].re - 0.5).abs() < 1e-10);
+        assert!((rho[(3, 3)].re - 0.5).abs() < 1e-10);
     }
 
     #[test]

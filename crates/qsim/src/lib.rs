@@ -17,6 +17,9 @@
 //!   path behind [`DensityMatrix`] ([`embed`] is its reference) and the
 //!   state-vector fast path behind [`StateVector`] (its original skip-scan
 //!   apply is retained as the `_ref` reference route).
+//! * [`fusion`] — the gate-fusion planner: merges adjacent operators with
+//!   overlapping supports into fused blocks (≤ 5 qubits) that the blocked
+//!   state-vector kernels then apply in one sweep each.
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod channels;
+pub mod fusion;
 pub mod gates;
 pub mod kernels;
 
@@ -42,5 +46,6 @@ mod state;
 
 pub use analysis::euler_zxz;
 pub use density::{embed, DensityMatrix};
+pub use fusion::{FusionPlan, OpDesc};
 pub use kernels::{KernelScratch, TargetIndex};
 pub use state::StateVector;

@@ -312,6 +312,18 @@ impl StateVector {
         rho
     }
 
+    /// Reduced density matrix of an ordered set of subsystems (partial
+    /// trace over the rest), with digit 0 of the result on `targets[0]`
+    /// — the convention every kernel in this crate uses. Reuses the
+    /// caller's scratch; the state need not be normalized
+    /// (`Tr` of the result is `‖ψ‖²`).
+    pub fn reduced_density_on(&self, targets: &[usize], scratch: &mut KernelScratch) -> CMat {
+        let d: usize = targets.iter().map(|&t| self.dims[t]).product();
+        let mut rho = CMat::zeros(d, d);
+        scratch.reduced_density_state(&self.amps, targets, &self.dims, &mut rho);
+        rho
+    }
+
     /// Bloch-vector components ⟨X⟩, ⟨Y⟩, ⟨Z⟩ of a 2-level subsystem.
     ///
     /// For higher-dimensional subsystems the components refer to the
