@@ -29,6 +29,8 @@ pub mod trotter;
 pub mod vqe;
 
 pub use molecules::Molecule;
-pub use pauli::{group_commuting, qubit_wise_commuting, MeasurementGroup, Pauli, PauliString, PauliSum};
+pub use pauli::{
+    group_commuting, qubit_wise_commuting, MeasurementGroup, Pauli, PauliString, PauliSum,
+};
 pub use qaoa::LineGraph;
 pub use qutrit::{calibrate_qutrit, counter_schedule, QutritPulses};

@@ -8,7 +8,7 @@
 //! ZZ interaction — the operation the paper's Optimization 3 accelerates).
 
 use quant_circuit::{Circuit, Gate};
-use quant_math::{C64, CMat};
+use quant_math::{CMat, C64};
 use quant_sim::{gates, StateVector};
 use std::fmt;
 
@@ -122,10 +122,7 @@ impl PauliString {
         let support = self.support();
         let mut total = 0.0;
         for (idx, &p) in probs.iter().enumerate() {
-            let parity = support
-                .iter()
-                .filter(|&&q| (idx >> q) & 1 == 1)
-                .count();
+            let parity = support.iter().filter(|&&q| (idx >> q) & 1 == 1).count();
             total += if parity % 2 == 0 { p } else { -p };
         }
         self.coeff * total
@@ -442,12 +439,7 @@ mod tests {
 
     #[test]
     fn expectation_matches_matrix() {
-        let h = PauliSum::from_terms(&[
-            (0.3, "XZ"),
-            (-0.7, "YY"),
-            (0.2, "ZI"),
-            (0.4, "XX"),
-        ]);
+        let h = PauliSum::from_terms(&[(0.3, "XZ"), (-0.7, "YY"), (0.2, "ZI"), (0.4, "XX")]);
         let mut psi = StateVector::zero_qubits(2);
         psi.apply_unitary(&gates::h(), &[0]);
         psi.apply_unitary(&gates::cnot(), &[0, 1]);

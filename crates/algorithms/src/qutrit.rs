@@ -238,7 +238,11 @@ mod tests {
             ..Default::default()
         };
         let u = t.integrate_play(&mut state, &pulses.x02);
-        assert!(u[(2, 0)].norm_sqr() > 0.985, "0→2: {}", u[(2, 0)].norm_sqr());
+        assert!(
+            u[(2, 0)].norm_sqr() > 0.985,
+            "0→2: {}",
+            u[(2, 0)].norm_sqr()
+        );
     }
 
     #[test]

@@ -124,7 +124,7 @@ mod tests {
         let h = molecules::h2().hamiltonian;
         let circuits = measurement_circuits(&h, 0.2);
         assert_eq!(circuits.len(), 5); // ZI, IZ, ZZ, XX, YY
-        // Reconstruct the energy from the circuits' ideal distributions.
+                                       // Reconstruct the energy from the circuits' ideal distributions.
         let id_term: f64 = h
             .terms()
             .iter()

@@ -22,7 +22,10 @@ fn main() {
         std::hint::black_box(optimize(std::hint::black_box(&circuit)));
     });
     bench("translate_standard_qaoa4", 10, || {
-        std::hint::black_box(to_basis(std::hint::black_box(&circuit), BasisKind::Standard));
+        std::hint::black_box(to_basis(
+            std::hint::black_box(&circuit),
+            BasisKind::Standard,
+        ));
     });
 
     let device = DeviceModel::ideal(4);

@@ -44,13 +44,55 @@ struct Config {
 
 fn main() {
     let configs = [
-        Config { name: "full noise model", drift: true, jitter: true, decoherence: true, spam_readout: true },
-        Config { name: "no calibration drift", drift: false, jitter: true, decoherence: true, spam_readout: true },
-        Config { name: "no pulse jitter", drift: true, jitter: false, decoherence: true, spam_readout: true },
-        Config { name: "no decoherence", drift: true, jitter: true, decoherence: false, spam_readout: true },
-        Config { name: "no SPAM/readout", drift: true, jitter: true, decoherence: true, spam_readout: false },
-        Config { name: "coherent sources only", drift: true, jitter: true, decoherence: false, spam_readout: false },
-        Config { name: "decoherence only", drift: false, jitter: false, decoherence: true, spam_readout: false },
+        Config {
+            name: "full noise model",
+            drift: true,
+            jitter: true,
+            decoherence: true,
+            spam_readout: true,
+        },
+        Config {
+            name: "no calibration drift",
+            drift: false,
+            jitter: true,
+            decoherence: true,
+            spam_readout: true,
+        },
+        Config {
+            name: "no pulse jitter",
+            drift: true,
+            jitter: false,
+            decoherence: true,
+            spam_readout: true,
+        },
+        Config {
+            name: "no decoherence",
+            drift: true,
+            jitter: true,
+            decoherence: false,
+            spam_readout: true,
+        },
+        Config {
+            name: "no SPAM/readout",
+            drift: true,
+            jitter: true,
+            decoherence: true,
+            spam_readout: false,
+        },
+        Config {
+            name: "coherent sources only",
+            drift: true,
+            jitter: true,
+            decoherence: false,
+            spam_readout: false,
+        },
+        Config {
+            name: "decoherence only",
+            drift: false,
+            jitter: false,
+            decoherence: true,
+            spam_readout: false,
+        },
     ];
     let circuit = benchmark_circuit();
     let ideal = circuit.output_distribution();
@@ -91,7 +133,9 @@ fn main() {
             .into_iter()
             .enumerate()
         {
-            let compiled = Compiler::new(&device, &cal, mode).compile(&circuit).unwrap();
+            let compiled = Compiler::new(&device, &cal, mode)
+                .compile(&circuit)
+                .unwrap();
             let exec = PulseExecutor::new(&device);
             // Average a few drift/jitter realizations.
             let mut dist = vec![0.0; ideal.len()];

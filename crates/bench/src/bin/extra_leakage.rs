@@ -82,7 +82,11 @@ fn main() {
         // leakage detection fights the discriminator's assignment floor.
         let mut measured2 = 0usize;
         for _ in 0..shots {
-            let level = if rng_gen(&mut rng) < true_leak[0] { 2 } else { 1 };
+            let level = if rng_gen(&mut rng) < true_leak[0] {
+                2
+            } else {
+                1
+            };
             let pt = readout::sample_iq(setup.device.readout(0), level, &mut rng);
             if lda.classify(pt) == 2 {
                 measured2 += 1;
@@ -107,10 +111,7 @@ fn main() {
 }
 
 fn qubit_block(u: &quant_math::CMat) -> quant_math::CMat {
-    quant_math::CMat::from_rows(&[
-        &[u[(0, 0)], u[(0, 1)]],
-        &[u[(1, 0)], u[(1, 1)]],
-    ])
+    quant_math::CMat::from_rows(&[&[u[(0, 0)], u[(0, 1)]], &[u[(1, 0)], u[(1, 1)]]])
 }
 
 fn rng_gen(rng: &mut rand::rngs::StdRng) -> f64 {

@@ -89,10 +89,7 @@ fn main() {
         // device state, and only the stretch varies.
         let e = energy_at_stretch(&device, lambda, solved.theta, shots, 9_000);
         energies.push(e);
-        println!(
-            "{lambda:>8.2} {e:>+14.5} {:>+12.2}",
-            1000.0 * (e - exact)
-        );
+        println!("{lambda:>8.2} {e:>+14.5} {:>+12.2}", 1000.0 * (e - exact));
     }
 
     // Richardson (linear) extrapolation to λ = 0.

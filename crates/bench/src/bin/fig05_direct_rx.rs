@@ -87,7 +87,11 @@ fn main() {
             theta.to_degrees(),
             100.0 * errs[0],
             100.0 * errs[1],
-            if errs[1] < errs[0] { "direct" } else { "standard" }
+            if errs[1] < errs[0] {
+                "direct"
+            } else {
+                "standard"
+            }
         );
     }
     let mean_std = sum_err[0] / n as f64;

@@ -30,9 +30,7 @@ fn main() {
             (0.0, 0.0, 1.0)
         } else {
             let u = transmon.integrate_waveform(&base.scaled(s)).unitary;
-            let amps: Vec<C64> = (0..3)
-                .map(|r| u[(r, 0)])
-                .collect();
+            let amps: Vec<C64> = (0..3).map(|r| u[(r, 0)]).collect();
             let psi = StateVector::from_amplitudes(&[3], amps);
             psi.bloch(0)
         };

@@ -58,8 +58,7 @@ fn main() {
             // Two-outcome readout: |2⟩ reads as 1.
             let p_read0 = out.populations[0];
             let r = setup.device.readout(0);
-            let measured0 = p_read0 * (1.0 - r.p1_given_0)
-                + (1.0 - p_read0) * r.p0_given_1;
+            let measured0 = p_read0 * (1.0 - r.p1_given_0) + (1.0 - p_read0) * r.p0_given_1;
             p0[a] = shot_noise(measured0, shots, &mut rng);
         }
         let b = bloch_from_p0(p0);

@@ -17,7 +17,10 @@ fn main() {
     let shots = 2000;
     let mut rng = seeded(84_000);
 
-    println!("Figure 10 — ZZ(θ) state fidelity, standard vs optimized ({} points)\n", 21);
+    println!(
+        "Figure 10 — ZZ(θ) state fidelity, standard vs optimized ({} points)\n",
+        21
+    );
     println!("{:>8} {:>10} {:>10}", "θ (deg)", "std fid.", "opt fid.");
 
     let mut mean = [0.0_f64; 2];

@@ -47,7 +47,10 @@ fn main() {
     let lda = Lda::train(&train_pts, &train_lbl, 3);
     let acc = lda.accuracy(&train_pts, &train_lbl);
     println!("Figure 11 — base-3 qutrit counter");
-    println!("\nIQ discriminator: 3 classes × 1500 calibration shots, accuracy {:.1}%", 100.0 * acc);
+    println!(
+        "\nIQ discriminator: 3 classes × 1500 calibration shots, accuracy {:.1}%",
+        100.0 * acc
+    );
     for (level, c) in [
         setup.device.readout(0).iq0,
         setup.device.readout(0).iq1,
@@ -92,10 +95,7 @@ fn main() {
         }
     }
     match dropout_cycle {
-        Some(c) => println!(
-            "\ndropout exceeds 40% around {c} cycles ({} hops)",
-            3 * c
-        ),
+        Some(c) => println!("\ndropout exceeds 40% around {c} cycles ({} hops)", 3 * c),
         None => println!("\ndropout stayed below 40% through 80 cycles"),
     }
     println!("paper reference: 60 cycles (180 hops) before dropout exceeds 40%");

@@ -12,8 +12,7 @@ use quant_algos::{molecules, trotter, vqe, LineGraph};
 use quant_circuit::Circuit;
 use quant_device::ShotPool;
 use repro_bench::{
-    compare_flows, compare_flows_trajectory, qaoa_line_circuit, write_json, ExperimentRecord,
-    Setup,
+    compare_flows, compare_flows_trajectory, qaoa_line_circuit, write_json, ExperimentRecord, Setup,
 };
 
 fn vqe_benchmark(m: &quant_algos::Molecule) -> Circuit {
@@ -78,8 +77,7 @@ fn main() {
         );
     }
 
-    let geo_mean =
-        reductions.iter().map(|r| r.ln()).sum::<f64>() / reductions.len() as f64;
+    let geo_mean = reductions.iter().map(|r| r.ln()).sum::<f64>() / reductions.len() as f64;
     let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
     println!(
         "\nmean error reduction: {:.2}x (geometric)   mean speedup: {:.2}x",

@@ -55,9 +55,7 @@ use quant_circuit::qasm;
 use quant_corpus::{CorpusOptions, PipelineConfig, Tier};
 use quant_device::{calibrate, DeviceModel, PulseExecutor, ShotPool, DT};
 use quant_math::seeded;
-use quant_service::{
-    wire, CompileService, DeviceKind, DeviceSpec, JobSpec, ServiceConfig,
-};
+use quant_service::{wire, CompileService, DeviceKind, DeviceSpec, JobSpec, ServiceConfig};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
@@ -307,11 +305,10 @@ fn cmd_submit(rest: &[String]) -> ! {
             Ok(source) => {
                 // Width defaults to the parsed register size so small
                 // programs do not pay for a 10-qubit tune-up.
-                let qubits = args.qubits.or_else(|| {
-                    qasm::parse(&source).ok().map(|c| c.num_qubits())
-                });
-                let device =
-                    DeviceSpec::new(args.device, qubits.unwrap_or(1), args.device_seed);
+                let qubits = args
+                    .qubits
+                    .or_else(|| qasm::parse(&source).ok().map(|c| c.num_qubits()));
+                let device = DeviceSpec::new(args.device, qubits.unwrap_or(1), args.device_seed);
                 let spec = JobSpec {
                     device,
                     circuit: quant_service::CircuitSource::Qasm(source),
@@ -415,10 +412,13 @@ fn cmd_compile(rest: &[String]) -> ! {
     let mut path: Option<String> = None;
     let mut device_seed = 7u64;
     let mut trajectories_requested = false;
+    let mut verify = true;
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         let mut take = |what: &str| -> String {
-            iter.next().cloned().unwrap_or_else(|| die(&format!("{what} needs a value")))
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
         };
         match arg.as_str() {
             "--mode" => {
@@ -429,10 +429,14 @@ fn cmd_compile(rest: &[String]) -> ! {
                 }
             }
             "--shots" => {
-                config.shots = take("--shots").parse().unwrap_or_else(|_| die("--shots needs an integer"))
+                config.shots = take("--shots")
+                    .parse()
+                    .unwrap_or_else(|_| die("--shots needs an integer"))
             }
             "--seed" => {
-                config.seed = take("--seed").parse().unwrap_or_else(|_| die("--seed needs an integer"));
+                config.seed = take("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an integer"));
                 device_seed = config.seed;
             }
             "--trajectories" => {
@@ -442,15 +446,19 @@ fn cmd_compile(rest: &[String]) -> ! {
                 trajectories_requested = true;
             }
             "--noiseless" => config.noisy = false,
+            "--verify" => verify = true,
+            "--no-verify" => verify = false,
             "--help" | "-h" => die(
                 "usage: opc compile [--mode standard|optimized] [--shots N] \
-                 [--seed N] [--noiseless] [--trajectories N] program.qasm",
+                 [--seed N] [--noiseless] [--trajectories N] [--no-verify] program.qasm",
             ),
             other if !other.starts_with('-') => path = Some(other.to_string()),
             other => die(&format!("unknown flag `{other}` (try --help)")),
         }
     }
-    let Some(path) = path else { die("pass a program.qasm") };
+    let Some(path) = path else {
+        die("pass a program.qasm")
+    };
     let source = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {
@@ -496,6 +504,21 @@ fn cmd_compile(rest: &[String]) -> ! {
         run.duration_dt,
         run.duration_dt as f64 * DT * 1e6
     );
+    if verify {
+        let findings = quant_pulse::verify(&run.compiled.program.schedule, &device.verify_spec());
+        if findings.is_empty() {
+            println!(
+                "schedule verified clean ({} static rules)",
+                quant_pulse::VERIFY_RULES.len()
+            );
+        } else {
+            eprintln!("opc compile: schedule failed verification:");
+            for f in &findings {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
     println!("{}", run.compiled.program.schedule.ascii_art(72));
     if trajectories_requested && run.executor == quant_corpus::ExecutorKind::Density {
         eprintln!(
@@ -530,7 +553,9 @@ fn cmd_corpus(rest: &[String]) -> ! {
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         let mut take = |what: &str| -> String {
-            iter.next().cloned().unwrap_or_else(|| die(&format!("{what} needs a value")))
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
         };
         match arg.as_str() {
             "--tier" => {
@@ -541,10 +566,14 @@ fn cmd_corpus(rest: &[String]) -> ! {
                 }
             }
             "--shots" => {
-                options.shots = take("--shots").parse().unwrap_or_else(|_| die("--shots needs an integer"))
+                options.shots = take("--shots")
+                    .parse()
+                    .unwrap_or_else(|_| die("--shots needs an integer"))
             }
             "--seed" => {
-                options.seed = take("--seed").parse().unwrap_or_else(|_| die("--seed needs an integer"))
+                options.seed = take("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an integer"))
             }
             "--device-seed" => {
                 options.device_seed = take("--device-seed")
@@ -656,7 +685,10 @@ fn main() {
             }
         };
         println!("\n================ {mode:?} ================");
-        println!("-- assembly (after passes) --\n{}", qasm::print(&compiled.assembly));
+        println!(
+            "-- assembly (after passes) --\n{}",
+            qasm::print(&compiled.assembly)
+        );
         println!(
             "-- pulse schedule: {} pulses, {} dt = {:.2} µs --",
             compiled.pulse_count(),

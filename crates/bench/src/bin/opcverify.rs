@@ -1,0 +1,103 @@
+//! `opcverify`: static schedule verification over the benchmark corpus.
+//!
+//! Compiles every corpus circuit (no execution — this is the cheap,
+//! CI-friendly half of the pipeline) in both compilation flows and runs
+//! `pulse::verify` on each lowered schedule. Exit status is nonzero if
+//! any schedule produces findings, so the invariant "everything the
+//! compiler emits verifies clean" is pinned as a standing check.
+//!
+//! ```text
+//! opcverify [--tier smoke|full] [--device-seed N]
+//! ```
+
+use pulse_compiler::CompileMode;
+use quant_corpus::{compile_circuit, generate, Tier};
+use quant_device::{calibrate, Calibration, DeviceModel};
+use quant_math::{seeded, stream_seed};
+use std::collections::BTreeMap;
+
+fn die(msg: &str) -> ! {
+    eprintln!("opcverify: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut tier = Tier::Full;
+    let mut device_seed = 7u64;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tier" => {
+                tier = match iter.next().as_deref() {
+                    Some("smoke") => Tier::Smoke,
+                    Some("full") => Tier::Full,
+                    Some(other) => die(&format!("unknown tier `{other}`")),
+                    None => die("--tier needs a value"),
+                }
+            }
+            "--device-seed" => {
+                device_seed = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => s,
+                    None => die("--device-seed needs an integer"),
+                }
+            }
+            "--help" | "-h" => die("usage: opcverify [--tier smoke|full] [--device-seed N]"),
+            other => die(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    let entries = generate(tier);
+    let mut backends: BTreeMap<u32, (DeviceModel, Calibration)> = BTreeMap::new();
+    let mut schedules = 0usize;
+    let mut total_findings = 0usize;
+    for entry in &entries {
+        let (device, calibration) = backends.entry(entry.width).or_insert_with(|| {
+            let mut rng = seeded(stream_seed(device_seed, entry.width as u64));
+            let device = DeviceModel::almaden_like(entry.width as usize, &mut rng);
+            let calibration = calibrate(&device, &mut rng);
+            (device, calibration)
+        });
+        let spec = device.verify_spec();
+        for mode in [CompileMode::Standard, CompileMode::Optimized] {
+            let cc = match compile_circuit(device, calibration, &entry.circuit, mode) {
+                Ok(cc) => cc,
+                Err(e) => {
+                    eprintln!("opcverify: {} ({mode:?}): compile failed: {e}", entry.name);
+                    std::process::exit(1);
+                }
+            };
+            schedules += 1;
+            let findings = quant_pulse::verify(&cc.compiled.program.schedule, &spec);
+            if !findings.is_empty() {
+                total_findings += findings.len();
+                println!(
+                    "FAIL {} ({mode:?}): {} finding(s)",
+                    entry.name,
+                    findings.len()
+                );
+                for f in &findings {
+                    println!("  {f}");
+                }
+            }
+        }
+    }
+
+    let tier_name = match tier {
+        Tier::Smoke => "smoke",
+        Tier::Full => "full",
+    };
+    if total_findings == 0 {
+        println!(
+            "opcverify: {schedules} schedule(s) across {} {tier_name}-tier circuit(s) \
+             verify clean ({} static rules)",
+            entries.len(),
+            quant_pulse::VERIFY_RULES.len()
+        );
+    } else {
+        println!(
+            "opcverify: {total_findings} finding(s) across {schedules} schedule(s) \
+             ({tier_name} tier)"
+        );
+        std::process::exit(1);
+    }
+}

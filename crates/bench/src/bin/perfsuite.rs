@@ -49,18 +49,14 @@ use quant_algos::{molecules, trotter, vqe, LineGraph};
 use quant_char::rb_sequence;
 use quant_circuit::Circuit;
 use quant_device::{
-    Calibration, CalibrationOptions, CalStore, DeviceModel, LoweredProgram, ProbeCache,
+    CalStore, Calibration, CalibrationOptions, DeviceModel, LoweredProgram, ProbeCache,
     PulseExecutor, ShotPool, TrajectoryExecutor, DT,
 };
-use quant_math::{seeded, unitary_exp, C64, CMat, PropagatorScratch};
-use rand::Rng;
-use quant_sim::{channels, gates, DensityMatrix, KernelScratch};
+use quant_math::{seeded, unitary_exp, CMat, PropagatorScratch, C64};
 use quant_service::{CompileService, DeviceKind, DeviceSpec, JobSpec, ServiceConfig};
-use repro_bench::{
-    compare_flows, json, qaoa_line_circuit,
-    timing::time_best,
-    Setup,
-};
+use quant_sim::{channels, gates, DensityMatrix, KernelScratch};
+use rand::Rng;
+use repro_bench::{compare_flows, json, qaoa_line_circuit, timing::time_best, Setup};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -174,7 +170,11 @@ fn density_kernel_workload(n: usize, reference: bool, rounds: usize) -> usize {
             }
         }
         for q in 0..n - 1 {
-            let pair = if round % 2 == 0 { [q, q + 1] } else { [q + 1, q] };
+            let pair = if round % 2 == 0 {
+                [q, q + 1]
+            } else {
+                [q + 1, q]
+            };
             if reference {
                 rho.apply_unitary_ref(&gate2, &pair);
             } else {
@@ -265,20 +265,14 @@ fn service_job_mix(smoke: bool) -> Vec<JobSpec> {
     let mut distinct: Vec<JobSpec> = Vec::new();
     let angles = if smoke { 2 } else { 8 };
     for k in 1..=angles {
-        let src = format!(
-            "qreg q[1]; rx({}*pi/{angles}) q[0];",
-            k
-        );
+        let src = format!("qreg q[1]; rx({}*pi/{angles}) q[0];", k);
         let mut job = JobSpec::qasm(DeviceSpec::new(DeviceKind::Armonk, 1, 42), src);
         job.shots = shots;
         distinct.push(job);
     }
     let two_q = if smoke { 1 } else { 7 };
     for k in 0..two_q {
-        let src = format!(
-            "qreg q[2]; h q[0]; cx q[0], q[1]; rz({}*pi/8) q[1];",
-            k + 1
-        );
+        let src = format!("qreg q[2]; h q[0]; cx q[0], q[1]; rz({}*pi/8) q[1];", k + 1);
         let mut job = JobSpec::qasm(DeviceSpec::new(DeviceKind::Almaden, 2, 43), src);
         job.shots = shots;
         distinct.push(job);
@@ -384,8 +378,7 @@ fn service_throughput_run(jobs: &[JobSpec], workers: usize) -> (f64, f64, f64, f
         latencies_us[idx.min(latencies_us.len() - 1)] as f64 / 1e3
     };
     let stats = service.stats();
-    let dedup_rate =
-        stats.dedup_hits as f64 / (stats.dedup_hits + stats.submitted).max(1) as f64;
+    let dedup_rate = stats.dedup_hits as f64 / (stats.dedup_hits + stats.submitted).max(1) as f64;
     (wall_ms, pct(0.50), pct(0.99), dedup_rate, checksum)
 }
 
@@ -484,9 +477,23 @@ fn main() {
     let best4 = if smoke { 1 } else { 3 };
     std::hint::black_box(Setup::almaden(1, 404)); // warm the snapshot store
     let (n, serial_ms) = time_best(best4, || fig04_workload(&serial, shots4, reps4));
-    record(&mut entries, "fig04_compile_execute", 1, serial_ms, n, serial_ms);
+    record(
+        &mut entries,
+        "fig04_compile_execute",
+        1,
+        serial_ms,
+        n,
+        serial_ms,
+    );
     let (n, ms) = time_best(best4, || fig04_workload(&pool, shots4, reps4));
-    record(&mut entries, "fig04_compile_execute", pool.threads(), ms, n, serial_ms);
+    record(
+        &mut entries,
+        "fig04_compile_execute",
+        pool.threads(),
+        ms,
+        n,
+        serial_ms,
+    );
 
     // fig12-class, reduced shots, serial then pooled.
     let benchmarks: Vec<(Circuit, usize)> = vec![
@@ -519,7 +526,14 @@ fn main() {
     let (n, serial_ms) = time_best(best12, || fig12_workload(&serial, &benchmarks, shots12));
     record(&mut entries, "fig12_reduced", 1, serial_ms, n, serial_ms);
     let (n, ms) = time_best(best12, || fig12_workload(&pool, &benchmarks, shots12));
-    record(&mut entries, "fig12_reduced", pool.threads(), ms, n, serial_ms);
+    record(
+        &mut entries,
+        "fig12_reduced",
+        pool.threads(),
+        ms,
+        n,
+        serial_ms,
+    );
 
     // The tune-up wall itself: the three `fig12_workload` device
     // calibrations (same seeds, same RNG draw order as `Setup::almaden`),
@@ -545,7 +559,14 @@ fn main() {
     let disabled = CalStore::disabled();
     let best_cold = if smoke { 1 } else { 2 };
     let (n, cold_serial_ms) = time_best(best_cold, || cold_setups(&serial, &disabled));
-    record(&mut entries, "fig12_setup_calibration", 1, cold_serial_ms, n, cold_serial_ms);
+    record(
+        &mut entries,
+        "fig12_setup_calibration",
+        1,
+        cold_serial_ms,
+        n,
+        cold_serial_ms,
+    );
     let (n, ms) = time_best(best_cold, || cold_setups(&pool, &disabled));
     record(
         &mut entries,
@@ -555,15 +576,21 @@ fn main() {
         n,
         cold_serial_ms,
     );
-    let warm_dir =
-        std::env::temp_dir().join(format!("opc-cal-bench-{}", std::process::id()));
+    let warm_dir = std::env::temp_dir().join(format!("opc-cal-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&warm_dir);
     let warm_store = CalStore::at(&warm_dir);
     cold_setups(&serial, &warm_store); // persist the three snapshots
     let (n, warm_ms) = time_best(if smoke { 1 } else { 5 }, || {
         cold_setups(&serial, &warm_store)
     });
-    record(&mut entries, "calibration_warm_load", 1, warm_ms, n, cold_serial_ms);
+    record(
+        &mut entries,
+        "calibration_warm_load",
+        1,
+        warm_ms,
+        n,
+        cold_serial_ms,
+    );
     let _ = std::fs::remove_dir_all(&warm_dir);
 
     // fig13-class, reduced shots, serial then pooled.
@@ -573,13 +600,24 @@ fn main() {
     let (n, serial_ms) = time_best(best13, || fig13_workload(&serial, shots13));
     record(&mut entries, "fig13_reduced", 1, serial_ms, n, serial_ms);
     let (n, ms) = time_best(best13, || fig13_workload(&pool, shots13));
-    record(&mut entries, "fig13_reduced", pool.threads(), ms, n, serial_ms);
+    record(
+        &mut entries,
+        "fig13_reduced",
+        pool.threads(),
+        ms,
+        n,
+        serial_ms,
+    );
 
     // Density-matrix stride kernels vs the embed reference, on growing
     // registers. Rounds shrink with n so the reference side stays
     // tractable (its per-op cost grows as the cube of the dimension).
     for n in 2..=6usize {
-        let rounds = if smoke { 1 } else { 600 >> (2 * (n - 2)).min(9) };
+        let rounds = if smoke {
+            1
+        } else {
+            600 >> (2 * (n - 2)).min(9)
+        };
         let rounds = rounds.max(1);
         let (ops, ref_ms) = time_best(if smoke { 1 } else { 3 }, || {
             density_kernel_workload(n, true, rounds)
@@ -595,7 +633,14 @@ fn main() {
         let (ops, ms) = time_best(if smoke { 1 } else { 3 }, || {
             density_kernel_workload(n, false, rounds)
         });
-        record(&mut entries, format!("density_n{n}_stride"), 1, ms, ops, ref_ms);
+        record(
+            &mut entries,
+            format!("density_n{n}_stride"),
+            1,
+            ms,
+            ops,
+            ref_ms,
+        );
     }
 
     // Trajectory scaling past the density wall: the same QAOA layer from
@@ -641,7 +686,14 @@ fn main() {
                 &serial,
             )
         });
-        record(&mut entries, format!("trajectory_n{n}_kernel"), 1, kernel_ms, s, naive_ms);
+        record(
+            &mut entries,
+            format!("trajectory_n{n}_kernel"),
+            1,
+            kernel_ms,
+            s,
+            naive_ms,
+        );
         let (s, ms) = time_best(best, || {
             trajectory_workload(
                 &program,
@@ -716,7 +768,14 @@ fn main() {
                 &pool,
             )
         });
-        record(&mut entries, format!("fusion_n{n}"), pool.threads(), ms, s, kernel_ms);
+        record(
+            &mut entries,
+            format!("fusion_n{n}"),
+            pool.threads(),
+            ms,
+            s,
+            kernel_ms,
+        );
     }
 
     // The paper-class 20-qubit workload end to end: the optimized-flow
@@ -743,11 +802,25 @@ fn main() {
         let (s, ms) = time_best(1, || {
             trajectory_workload(&program, &setup.device, 8, 2048, TrajRoute::Fused, &serial)
         });
-        record(&mut entries, "qaoa20_trajectory_fused", 1, ms, s, unfused_ms);
+        record(
+            &mut entries,
+            "qaoa20_trajectory_fused",
+            1,
+            ms,
+            s,
+            unfused_ms,
+        );
         let (s, ms) = time_best(1, || {
             trajectory_workload(&program, &setup.device, 8, 2048, TrajRoute::Fused, &pool)
         });
-        record(&mut entries, "qaoa20_trajectory_fused", pool.threads(), ms, s, unfused_ms);
+        record(
+            &mut entries,
+            "qaoa20_trajectory_fused",
+            pool.threads(),
+            ms,
+            s,
+            unfused_ms,
+        );
     }
 
     // Propagator hot loop: eigendecomposition reference vs Taylor scratch.
@@ -756,9 +829,23 @@ fn main() {
     let samples = if smoke { 2_000 } else { 200_000 };
     let best_of = if smoke { 1 } else { 5 };
     let (_, eigh_ms) = time_best(best_of, || propagator_workload(false, samples));
-    record(&mut entries, "propagator_eigh_reference", 1, eigh_ms, samples, eigh_ms);
+    record(
+        &mut entries,
+        "propagator_eigh_reference",
+        1,
+        eigh_ms,
+        samples,
+        eigh_ms,
+    );
     let (_, taylor_ms) = time_best(best_of, || propagator_workload(true, samples));
-    record(&mut entries, "propagator_taylor_scratch", 1, taylor_ms, samples, eigh_ms);
+    record(
+        &mut entries,
+        "propagator_taylor_scratch",
+        1,
+        taylor_ms,
+        samples,
+        eigh_ms,
+    );
 
     // Pulse cache: repeated θ sweeps, cache off vs on. The 1-qubit
     // DirectRx sweep bounds the cache's win by the non-integration
@@ -781,7 +868,14 @@ fn main() {
     let (n, off_ms) = time_best(if smoke { 1 } else { 3 }, || {
         theta_sweep_workload(&setup, &programs, repeats, false, shots_sweep)
     });
-    record(&mut entries, "theta_sweep_1q_cache_off", 1, off_ms, n, off_ms);
+    record(
+        &mut entries,
+        "theta_sweep_1q_cache_off",
+        1,
+        off_ms,
+        n,
+        off_ms,
+    );
     let (n, ms) = time_best(if smoke { 1 } else { 3 }, || {
         theta_sweep_workload(&setup, &programs, repeats, true, shots_sweep)
     });
@@ -803,7 +897,14 @@ fn main() {
     let (n, off_ms) = time_best(if smoke { 1 } else { 2 }, || {
         theta_sweep_workload(&setup2, &programs2, repeats2, false, shots_sweep)
     });
-    record(&mut entries, "theta_sweep_2q_cache_off", 1, off_ms, n, off_ms);
+    record(
+        &mut entries,
+        "theta_sweep_2q_cache_off",
+        1,
+        off_ms,
+        n,
+        off_ms,
+    );
     let (n, ms) = time_best(if smoke { 1 } else { 2 }, || {
         theta_sweep_workload(&setup2, &programs2, repeats2, true, shots_sweep)
     });
@@ -849,7 +950,8 @@ fn main() {
         }
         println!(
             "{:<28}            p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms, dedup {:.0}%",
-            "", dedup_rate * 100.0
+            "",
+            dedup_rate * 100.0
         );
     }
 
@@ -867,9 +969,7 @@ fn main() {
         let options = CorpusOptions {
             tier,
             shots: corpus_shots,
-            clock: Some(Arc::new(move || {
-                clock_origin.elapsed().as_millis() as u64
-            })),
+            clock: Some(Arc::new(move || clock_origin.elapsed().as_millis() as u64)),
             ..CorpusOptions::default()
         };
         let name = if smoke { "corpus_smoke" } else { "corpus_full" };
@@ -893,7 +993,14 @@ fn main() {
             ));
         }
         let total_shots = report.circuits.len() * 2 * corpus_shots;
-        record(&mut entries, name, 1, corpus_serial_ms, total_shots, corpus_serial_ms);
+        record(
+            &mut entries,
+            name,
+            1,
+            corpus_serial_ms,
+            total_shots,
+            corpus_serial_ms,
+        );
         record(
             &mut entries,
             name,
@@ -960,7 +1067,11 @@ fn main() {
             json::object(fields)
         })
         .collect();
-    let path = if smoke { "BENCH_smoke.json" } else { "BENCH_7.json" };
+    let path = if smoke {
+        "BENCH_smoke.json"
+    } else {
+        "BENCH_7.json"
+    };
     match std::fs::write(path, json::array(items).pretty()) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path}: {e}"),

@@ -76,7 +76,5 @@ fn main() {
         }
         println!();
     }
-    println!(
-        "\n('!' marks deviation from the paper's value; {mismatches} mismatch(es))"
-    );
+    println!("\n('!' marks deviation from the paper's value; {mismatches} mismatch(es))");
 }

@@ -10,7 +10,9 @@ use pulse_compiler::{CompileMode, Compiler};
 use quant_algos::LineGraph;
 use quant_char::{counts_to_distribution, hellinger_distance, Mitigator};
 use quant_circuit::Circuit;
-use quant_device::{calibrate, Calibration, DeviceModel, PulseExecutor, ShotPool, TrajectoryExecutor};
+use quant_device::{
+    calibrate, Calibration, DeviceModel, PulseExecutor, ShotPool, TrajectoryExecutor,
+};
 use quant_math::seeded;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -342,7 +344,10 @@ pub fn write_json(path: &str, records: &[ExperimentRecord]) -> std::io::Result<(
                     "comparison",
                     json::object([
                         ("error_standard", json::number(r.comparison.error_standard)),
-                        ("error_optimized", json::number(r.comparison.error_optimized)),
+                        (
+                            "error_optimized",
+                            json::number(r.comparison.error_optimized),
+                        ),
                         (
                             "duration_standard",
                             json::number(r.comparison.duration_standard as f64),
@@ -396,8 +401,7 @@ mod tests {
         // Forward-applying the estimated confusion to a pure |0⟩ should
         // land near the device's true readout error (plus SPAM).
         let noisy = m.apply_forward(&[1.0, 0.0]);
-        let truth = setup.device.readout(0).p1_given_0
-            + setup.device.reset_excited_prob();
+        let truth = setup.device.readout(0).p1_given_0 + setup.device.reset_excited_prob();
         assert!(
             (noisy[1] - truth).abs() < 0.02,
             "estimated {:.4} vs true-ish {truth:.4}",

@@ -29,8 +29,12 @@ pub mod rb;
 pub mod tomography;
 
 pub use lda::Lda;
-pub use metrics::{counts_to_distribution, hellinger_distance, hellinger_fidelity, total_variation};
+pub use metrics::{
+    counts_to_distribution, hellinger_distance, hellinger_fidelity, total_variation,
+};
 pub use mitigation::Mitigator;
-pub use process::{entanglement_fidelity_from_average, kraus_process_fidelity, monte_carlo_process_fidelity};
+pub use process::{
+    entanglement_fidelity_from_average, kraus_process_fidelity, monte_carlo_process_fidelity,
+};
 pub use rb::{interleaved_gate_fidelity, interleaved_rb_sequence, rb_sequence, RbData};
 pub use tomography::{bloch_from_p0, Axis, BlochVector};

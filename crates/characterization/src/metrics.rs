@@ -58,8 +58,7 @@ mod tests {
     }
 
     #[test]
-    fn hellinger_is_symmetric_and_bounded()
-    {
+    fn hellinger_is_symmetric_and_bounded() {
         let p = [0.5, 0.3, 0.2, 0.0];
         let q = [0.1, 0.1, 0.4, 0.4];
         let h = hellinger_distance(&p, &q);

@@ -5,7 +5,7 @@
 //! confusion matrix by preparing each basis state, then apply its inverse
 //! to measured distributions (with clipping back onto the simplex).
 
-use quant_math::{C64, CMat};
+use quant_math::{CMat, C64};
 
 /// A measurement-error mitigator for `n` qubits with a tensor-product
 /// confusion model.
@@ -74,9 +74,7 @@ impl Mitigator {
         let mut cur = measured.to_vec();
         for (q, m) in self.per_qubit.iter().enumerate() {
             let mat = CMat::from_real_rows(&[&[m[0][0], m[0][1]], &[m[1][0], m[1][1]]]);
-            let inv = mat
-                .inverse()
-                .expect("confusion matrix must be invertible");
+            let inv = mat.inverse().expect("confusion matrix must be invertible");
             let mut next = vec![0.0; cur.len()];
             for (i, &p) in cur.iter().enumerate() {
                 let bit = (i >> q) & 1;
@@ -147,8 +145,7 @@ mod tests {
         let ideal = [0.125, 0.375, 0.375, 0.125];
         let noisy = m.apply_forward(&ideal);
         let h_before = crate::metrics::hellinger_distance(&ideal, &noisy);
-        let h_after =
-            crate::metrics::hellinger_distance(&ideal, &m.mitigate(&noisy));
+        let h_after = crate::metrics::hellinger_distance(&ideal, &m.mitigate(&noisy));
         assert!(h_after < h_before * 0.05, "{h_before} → {h_after}");
     }
 

@@ -140,8 +140,7 @@ mod tests {
     fn kraus_estimator_matches_unitary_estimator() {
         let mut rng = seeded(54);
         let channel = vec![gates::h()];
-        let f_kraus =
-            kraus_process_fidelity(1, &gates::h(), &channel, 128, &mut rng);
+        let f_kraus = kraus_process_fidelity(1, &gates::h(), &channel, 128, &mut rng);
         assert!((f_kraus - 1.0).abs() < 1e-10);
         // Depolarizing with p: F_avg = 1 − p/2 for a single qubit.
         let p = 0.2;

@@ -154,7 +154,10 @@ mod tests {
     fn interleaved_fidelity_extraction() {
         assert!((interleaved_gate_fidelity(0.998, 0.996) - 0.996 / 0.998).abs() < 1e-12);
         assert_eq!(interleaved_gate_fidelity(0.0, 0.5), 0.0);
-        assert_eq!(interleaved_gate_fidelity(0.9, 0.95), 1.0_f64.min(0.95 / 0.9));
+        assert_eq!(
+            interleaved_gate_fidelity(0.9, 0.95),
+            1.0_f64.min(0.95 / 0.9)
+        );
     }
 
     #[test]

@@ -141,8 +141,7 @@ mod tests {
     }
 
     #[test]
-    fn rx_rotation_traces_meridian()
-    {
+    fn rx_rotation_traces_meridian() {
         // Rx(θ)|0⟩ stays on the X = 0 meridian: x-component zero.
         for k in 1..8 {
             let theta = k as f64 * 0.39;
@@ -158,11 +157,23 @@ mod tests {
 
     #[test]
     fn fidelity_of_bloch_vectors() {
-        let up = BlochVector { x: 0.0, y: 0.0, z: 1.0 };
-        let down = BlochVector { x: 0.0, y: 0.0, z: -1.0 };
+        let up = BlochVector {
+            x: 0.0,
+            y: 0.0,
+            z: 1.0,
+        };
+        let down = BlochVector {
+            x: 0.0,
+            y: 0.0,
+            z: -1.0,
+        };
         assert!((up.fidelity(&up) - 1.0).abs() < 1e-12);
         assert!(up.fidelity(&down).abs() < 1e-12);
-        let eq = BlochVector { x: 1.0, y: 0.0, z: 0.0 };
+        let eq = BlochVector {
+            x: 1.0,
+            y: 0.0,
+            z: 0.0,
+        };
         assert!((up.fidelity(&eq) - 0.5).abs() < 1e-12);
     }
 }

@@ -175,7 +175,13 @@ impl Circuit {
     pub fn depth(&self) -> usize {
         let mut level = vec![0usize; self.num_qubits as usize];
         for op in &self.ops {
-            let l = op.qubits.iter().map(|&q| level[q as usize]).max().unwrap_or(0) + 1;
+            let l = op
+                .qubits
+                .iter()
+                .map(|&q| level[q as usize])
+                .max()
+                .unwrap_or(0)
+                + 1;
             for &q in &op.qubits {
                 level[q as usize] = l;
             }

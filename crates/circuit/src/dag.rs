@@ -145,9 +145,12 @@ impl CircuitDag {
     /// Converts back to a circuit in topological order.
     pub fn to_circuit(&self) -> Circuit {
         let mut c = Circuit::new(self.num_qubits);
+        // `topological` only yields live ids (wires are purged on remove),
+        // so the filter is a no-op that keeps this path panic-free.
         for id in self.topological() {
-            let op = self.nodes[id].as_ref().unwrap();
-            c.push(op.gate, &op.qubits);
+            if let Some(op) = self.op(id) {
+                c.push(op.gate, &op.qubits);
+            }
         }
         c
     }
@@ -156,8 +159,7 @@ impl CircuitDag {
     /// share. Returns false (and changes nothing) if they don't commute or
     /// are not adjacent on some shared wire.
     pub fn try_transpose(&mut self, first: NodeId, second: NodeId) -> bool {
-        let (Some(a), Some(b)) = (self.op(first).cloned(), self.op(second).cloned())
-        else {
+        let (Some(a), Some(b)) = (self.op(first).cloned(), self.op(second).cloned()) else {
             return false;
         };
         let shared: Vec<u32> = a
@@ -177,10 +179,24 @@ impl CircuitDag {
         if !operations_commute(&a, &b) {
             return false;
         }
+        // Locate `first` on every shared wire before mutating any of them,
+        // so a failed lookup (impossible after the adjacency check above,
+        // but cheap to guard) leaves the DAG untouched.
+        let mut swaps: Vec<(u32, usize)> = Vec::with_capacity(shared.len());
         for &q in &shared {
-            let wire = self.wires.get_mut(&q).unwrap();
-            let i = wire.iter().position(|&n| n == first).unwrap();
-            wire.swap(i, i + 1);
+            let Some(pos) = self
+                .wires
+                .get(&q)
+                .and_then(|w| w.iter().position(|&n| n == first))
+            else {
+                return false;
+            };
+            swaps.push((q, pos));
+        }
+        for (q, i) in swaps {
+            if let Some(wire) = self.wires.get_mut(&q) {
+                wire.swap(i, i + 1);
+            }
         }
         // Node ids no longer reflect program order on those wires, but
         // `topological` derives order from wires only when converting; keep
@@ -267,10 +283,7 @@ mod tests {
 
     #[test]
     fn commutation_disjoint_supports() {
-        assert!(operations_commute(
-            &op(Gate::X, &[0]),
-            &op(Gate::H, &[1])
-        ));
+        assert!(operations_commute(&op(Gate::X, &[0]), &op(Gate::H, &[1])));
     }
 
     #[test]

@@ -197,8 +197,7 @@ impl Gate {
             Gate::Cr(t) => Gate::Cr(-t),
             Gate::Zz(t) => Gate::Zz(-t),
             Gate::FSim(t, p) => Gate::FSim(-t, -p),
-            Gate::ISwap | Gate::SqrtISwap | Gate::BSwap | Gate::QutritX02
-            | Gate::QutritX12 => {
+            Gate::ISwap | Gate::SqrtISwap | Gate::BSwap | Gate::QutritX02 | Gate::QutritX12 => {
                 // No in-set inverse; callers needing exact inverses of these
                 // should use `matrix().dagger()` via a U3/KAK resynthesis.
                 // For the self-inverse qutrit X gates, the gate itself.
@@ -220,8 +219,15 @@ impl Gate {
     pub fn is_diagonal(&self) -> bool {
         matches!(
             self,
-            Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg
-                | Gate::Rz(_) | Gate::Cz | Gate::Zz(_)
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::Rz(_)
+                | Gate::Cz
+                | Gate::Zz(_)
         )
     }
 

@@ -31,7 +31,11 @@ pub struct QasmError {
 
 impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}, col {}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "line {}, col {}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -109,12 +113,7 @@ pub fn parse(source: &str) -> Result<Circuit, QasmError> {
             parse_gate_statement(c, &reg_name, stmt, pos)?;
         }
     }
-    circuit.ok_or_else(|| {
-        err(
-            Pos { line: 0, column: 0 },
-            "no qreg declaration found",
-        )
-    })
+    circuit.ok_or_else(|| err(Pos { line: 0, column: 0 }, "no qreg declaration found"))
 }
 
 /// Validates the text after the `OPENQASM` keyword: whitespace, then a
@@ -146,8 +145,12 @@ fn check_version_header(rest: &str, pos: Pos) -> Result<(), QasmError> {
 
 fn parse_reg(rest: &str, pos: Pos) -> Result<(String, u32), QasmError> {
     // name[size]
-    let open = rest.find('[').ok_or_else(|| err(pos, "expected `[` in qreg"))?;
-    let close = rest.find(']').ok_or_else(|| err(pos, "expected `]` in qreg"))?;
+    let open = rest
+        .find('[')
+        .ok_or_else(|| err(pos, "expected `[` in qreg"))?;
+    let close = rest
+        .find(']')
+        .ok_or_else(|| err(pos, "expected `]` in qreg"))?;
     if close < open {
         return Err(err(pos, "expected `[` before `]` in qreg"));
     }
@@ -168,12 +171,7 @@ fn parse_reg(rest: &str, pos: Pos) -> Result<(String, u32), QasmError> {
     Ok((name, size))
 }
 
-fn parse_gate_statement(
-    c: &mut Circuit,
-    reg: &str,
-    stmt: &str,
-    pos: Pos,
-) -> Result<(), QasmError> {
+fn parse_gate_statement(c: &mut Circuit, reg: &str, stmt: &str, pos: Pos) -> Result<(), QasmError> {
     // gate-name [ (params) ] operand [, operand]
     let (head, operands_text) = match stmt.find(|ch: char| ch.is_whitespace()) {
         Some(split) if !stmt[..split].contains('(') && !stmt.contains('(') => {
@@ -435,14 +433,13 @@ mod tests {
 
     #[test]
     fn round_trip_through_printer() {
-        let src = "qreg q[3]; h q[0]; cx q[0], q[1]; rzz(0.7) q[1], q[2]; rx(1.25) q[2]; barrier q[0];";
+        let src =
+            "qreg q[3]; h q[0]; cx q[0], q[1]; rzz(0.7) q[1], q[2]; rx(1.25) q[2]; barrier q[0];";
         let c = parse(src).unwrap();
         let printed = print(&c);
         let reparsed = parse(&printed).unwrap();
         assert_eq!(c, reparsed);
-        assert!(
-            c.unitary().phase_invariant_diff(&reparsed.unitary()) < 1e-12
-        );
+        assert!(c.unitary().phase_invariant_diff(&reparsed.unitary()) < 1e-12);
     }
 
     #[test]

@@ -97,8 +97,8 @@ fn bad_fixtures_fail_with_exact_positions() {
 fn valid_fixtures_parse() {
     for path in fixtures("valid") {
         let text = std::fs::read_to_string(&path).expect("read fixture");
-        let circuit = qasm::parse(&text)
-            .unwrap_or_else(|e| panic!("{}: rejected: {e}", path.display()));
+        let circuit =
+            qasm::parse(&text).unwrap_or_else(|e| panic!("{}: rejected: {e}", path.display()));
         assert!(circuit.num_qubits() >= 1);
     }
 }

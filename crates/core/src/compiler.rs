@@ -67,11 +67,7 @@ pub struct Compiler<'a> {
 
 impl<'a> Compiler<'a> {
     /// Creates a compiler for a calibrated device.
-    pub fn new(
-        device: &'a DeviceModel,
-        calibration: &'a Calibration,
-        mode: CompileMode,
-    ) -> Self {
+    pub fn new(device: &'a DeviceModel, calibration: &'a Calibration, mode: CompileMode) -> Self {
         Compiler {
             device,
             calibration,

@@ -185,10 +185,7 @@ pub fn synthesize_with_uses(
         }
         // With CNOT-class gates, two uses reach exactly the
         // two-CNOT-synthesizable set.
-        if uses == 2
-            && locally_equivalent(&b, &g::cnot())
-            && !two_cnot_synthesizable(target)
-        {
+        if uses == 2 && locally_equivalent(&b, &g::cnot()) && !two_cnot_synthesizable(target) {
             return None;
         }
     }
@@ -228,11 +225,7 @@ pub fn synthesize_with_uses(
 
 /// Finds the minimum-cost synthesis of `target` in the given native gate,
 /// trying `uses = 0, 1, …, max_uses`.
-pub fn decompose(
-    target: &CMat,
-    native: NativeGate,
-    opts: &DecomposeOptions,
-) -> Option<Synthesis> {
+pub fn decompose(target: &CMat, native: NativeGate, opts: &DecomposeOptions) -> Option<Synthesis> {
     for uses in 0..=opts.max_uses {
         if let Some(s) = synthesize_with_uses(target, native, uses, opts) {
             return Some(s);
@@ -260,9 +253,7 @@ impl Synthesis {
                 NativeGate::BSwap => Gate::BSwap,
                 NativeGate::Map => Gate::Map,
                 NativeGate::SqrtISwap => Gate::SqrtISwap,
-                NativeGate::CrTheta => {
-                    Gate::Cr(self.params[6 * (self.uses + 1) + k])
-                }
+                NativeGate::CrTheta => Gate::Cr(self.params[6 * (self.uses + 1) + k]),
             };
             c.push(gate, &[0, 1]);
             layer(&mut c, &self.params[6 * (k + 1)..6 * (k + 2)]);
@@ -310,11 +301,7 @@ impl TargetOp {
 
 /// One row × column entry of Table 2: minimum cost, or `None` if not found
 /// within the search budget.
-pub fn table2_cost(
-    target: TargetOp,
-    native: NativeGate,
-    opts: &DecomposeOptions,
-) -> Option<f64> {
+pub fn table2_cost(target: TargetOp, native: NativeGate, opts: &DecomposeOptions) -> Option<f64> {
     decompose(&target.matrix(), native, opts).map(|s| s.cost)
 }
 
@@ -376,18 +363,18 @@ mod tests {
             synthesize_with_uses(&zz, NativeGate::Cnot, 1, &opts).is_none(),
             "generic ZZ is not CNOT-class"
         );
-        let two = synthesize_with_uses(&zz, NativeGate::Cnot, 2, &opts)
-            .expect("textbook: CNOT·Rz·CNOT");
+        let two =
+            synthesize_with_uses(&zz, NativeGate::Cnot, 2, &opts).expect("textbook: CNOT·Rz·CNOT");
         assert_eq!(two.uses, 2);
-        let one = synthesize_with_uses(&zz, NativeGate::CrTheta, 1, &opts)
-            .expect("paper: H·CR(θ)·H");
+        let one =
+            synthesize_with_uses(&zz, NativeGate::CrTheta, 1, &opts).expect("paper: H·CR(θ)·H");
         assert!(one.fidelity >= 0.999, "CR(θ) fidelity {}", one.fidelity);
     }
 
     #[test]
     fn cnot_from_two_sqrt_iswaps_costs_one() {
-        let s = decompose(&g::cnot(), NativeGate::SqrtISwap, &fast_opts())
-            .expect("CNOT = 2 √iSWAPs");
+        let s =
+            decompose(&g::cnot(), NativeGate::SqrtISwap, &fast_opts()).expect("CNOT = 2 √iSWAPs");
         assert_eq!(s.uses, 2);
         assert!((s.cost - 1.0).abs() < 1e-12, "half-gate accounting");
     }

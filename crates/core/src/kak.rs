@@ -11,7 +11,7 @@
 //! We also expose the Shende–Bullock–Markov criterion for two-CNOT
 //! synthesizability, which the decomposer uses to prune its search.
 
-use quant_math::{eigenvalues, C64, CMat};
+use quant_math::{eigenvalues, CMat, C64};
 
 /// The magic (Bell) basis change `B`.
 pub fn magic_basis() -> CMat {

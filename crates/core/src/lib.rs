@@ -52,9 +52,14 @@ pub mod passes;
 pub mod routing;
 pub mod translate;
 
-pub use compiler::{Compiled, CompileMode, Compiler};
-pub use decompose::{average_gate_fidelity, decompose, table2_cost, DecomposeOptions, NativeGate, Synthesis, TargetOp};
-pub use kak::{is_local, locally_equivalent, makhlin_invariants, two_cnot_synthesizable, weyl_coordinates};
+pub use compiler::{CompileMode, Compiled, Compiler};
+pub use decompose::{
+    average_gate_fidelity, decompose, table2_cost, DecomposeOptions, NativeGate, Synthesis,
+    TargetOp,
+};
+pub use kak::{
+    is_local, locally_equivalent, makhlin_invariants, two_cnot_synthesizable, weyl_coordinates,
+};
 pub use lower::{LowerError, LowerOptions, Lowering};
 pub use passes::{baseline_optimize, optimize, run_pipeline, Pass};
 pub use routing::{route, CouplingMap, RouteError, Routed};

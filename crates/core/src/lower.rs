@@ -15,7 +15,7 @@
 use quant_circuit::{Circuit, Gate};
 use quant_device::{Block, Calibration, DeviceModel, LoweredProgram};
 use quant_math::C64;
-use quant_pulse::{Channel, Instruction, Schedule, Waveform};
+use quant_pulse::{Channel, Instruction, Schedule, ScheduleFinding, Waveform};
 use std::f64::consts::{FRAC_PI_2, PI, TAU};
 
 /// Errors from lowering.
@@ -25,16 +25,34 @@ pub enum LowerError {
     UnsupportedGate(String),
     /// A two-qubit gate addressed a pair with no CR coupling.
     UncoupledPair(u32, u32),
+    /// The lowered schedule failed static verification (`pulse::verify`).
+    /// Carries every finding; the lowering that produced them is a
+    /// compiler bug, not a user error.
+    InvalidSchedule(Vec<ScheduleFinding>),
 }
 
 impl std::fmt::Display for LowerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LowerError::UnsupportedGate(g) => {
-                write!(f, "gate `{g}` cannot be lowered; translate to a basis set first")
+                write!(
+                    f,
+                    "gate `{g}` cannot be lowered; translate to a basis set first"
+                )
             }
             LowerError::UncoupledPair(a, b) => {
                 write!(f, "qubits {a} and {b} are not coupled on this device")
+            }
+            LowerError::InvalidSchedule(findings) => {
+                write!(
+                    f,
+                    "lowered schedule failed verification ({} finding(s)",
+                    findings.len()
+                )?;
+                match findings.first() {
+                    Some(first) => write!(f, "; first: {first})"),
+                    None => write!(f, ")"),
+                }
             }
         }
     }
@@ -97,7 +115,10 @@ impl<'a> Lowering<'a> {
                     frames[q as usize] += -(theta + PI);
                     self.emit_rx90(q, &mut frames, &mut waveforms);
                     frames[q as usize] += -(phi + PI);
-                    blocks.push(Block::Gate1Q { qubit: q, waveforms });
+                    blocks.push(Block::Gate1Q {
+                        qubit: q,
+                        waveforms,
+                    });
                 }
                 Gate::DirectX => {
                     let q = op.qubits[0];
@@ -175,6 +196,7 @@ impl<'a> Lowering<'a> {
                         .device
                         .control_channel(control, target)
                         .ok_or(LowerError::UncoupledPair(control, target))?;
+                    // opclint: allow(float-literal-eq): exact sentinel — skip the frame change only when the accumulated phase is still the 0.0 it was initialized to
                     if frames[target as usize] != 0.0 {
                         schedule.prepend(Instruction::ShiftPhase {
                             phase: frames[target as usize],
@@ -183,6 +205,7 @@ impl<'a> Lowering<'a> {
                     }
                     for &q in &[control, target] {
                         let phase = frames[q as usize];
+                        // opclint: allow(float-literal-eq): exact sentinel — 0.0 means "no frame change accumulated", never a computed near-zero
                         if phase != 0.0 {
                             schedule.prepend(Instruction::ShiftPhase {
                                 phase,
@@ -257,6 +280,18 @@ impl<'a> Lowering<'a> {
                     duration: *duration,
                     channel: Channel::Drive(*qubit),
                 }),
+            }
+        }
+
+        // Mandatory post-lowering pass: the schedule the compiler just
+        // built must verify clean against the device it targets. Any
+        // finding here is a compiler bug surfaced at compile time instead
+        // of a corrupted simulation. `OPC_VERIFY=0` skips the pass (e.g.
+        // to inspect a deliberately broken lowering).
+        if quant_device::knobs::verify() {
+            let findings = quant_pulse::verify(&display, &self.device.verify_spec());
+            if !findings.is_empty() {
+                return Err(LowerError::InvalidSchedule(findings));
             }
         }
 
@@ -540,6 +575,42 @@ mod tests {
         let out = exec.run(&cancelled, &mut rng);
         // open-CNOT on |00⟩: control 0 is |0⟩ → target flips → index 2.
         assert!(out.probabilities[2] > 0.95, "p = {:?}", out.probabilities);
+    }
+
+    #[test]
+    fn lowered_schedules_pass_static_verification() {
+        // The mandatory post-lowering pass inside lower() would already
+        // have failed the compile; pin the invariant explicitly so it
+        // survives even with OPC_VERIFY=0 in the ambient environment.
+        let c2 = ctx(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).rz(1, 0.7).cnot(0, 1);
+        let basis = crate::translate::to_basis(&c, crate::translate::BasisKind::Augmented);
+        let lowering = Lowering::new(&c2.device, &c2.calibration, LowerOptions::default());
+        let program = lowering.lower(&basis).unwrap();
+        let findings = quant_pulse::verify(&program.schedule, &c2.device.verify_spec());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn invalid_schedule_error_reports_count_and_first_finding() {
+        let mut s = Schedule::new("bad");
+        s.insert(
+            0,
+            Instruction::Play {
+                waveform: quant_pulse::Constant {
+                    duration: 160,
+                    amp: 0.1,
+                }
+                .waveform("p"),
+                channel: Channel::Drive(9),
+            },
+        );
+        let findings = quant_pulse::verify(&s, &quant_pulse::VerifySpec::new(2, vec![]));
+        let err = LowerError::InvalidSchedule(findings);
+        let text = err.to_string();
+        assert!(text.contains("1 finding(s)"), "{text}");
+        assert!(text.contains("unknown-channel"), "{text}");
     }
 
     #[test]

@@ -225,8 +225,15 @@ fn is_self_inverse_pair(a: &Gate, b: &Gate) -> bool {
     }
     matches!(
         a,
-        Gate::X | Gate::Y | Gate::Z | Gate::H | Gate::DirectX | Gate::Cnot
-            | Gate::OpenCnot | Gate::Cz | Gate::Swap
+        Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::DirectX
+            | Gate::Cnot
+            | Gate::OpenCnot
+            | Gate::Cz
+            | Gate::Swap
     )
 }
 
@@ -443,7 +450,13 @@ mod tests {
     #[test]
     fn optimize_is_idempotent() {
         let mut c = Circuit::new(3);
-        c.h(0).cnot(0, 1).rz(1, 0.4).cnot(0, 1).cnot(1, 2).rz(2, 0.7).cnot(1, 2);
+        c.h(0)
+            .cnot(0, 1)
+            .rz(1, 0.4)
+            .cnot(0, 1)
+            .cnot(1, 2)
+            .rz(2, 0.7)
+            .cnot(1, 2);
         let once = optimize(&c);
         let twice = optimize(&once);
         assert_eq!(once, twice);

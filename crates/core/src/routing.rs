@@ -197,9 +197,7 @@ pub fn route(circuit: &Circuit, map: &CouplingMap) -> Result<Routed, RouteError>
                 let (la, lb) = (*a as usize, *b as usize);
                 let (pa, pb) = (layout[la], layout[lb]);
                 if !map.adjacent(pa, pb) {
-                    let path = map
-                        .path(pa, pb)
-                        .ok_or(RouteError::Disconnected(pa, pb))?;
+                    let path = map.path(pa, pb).ok_or(RouteError::Disconnected(pa, pb))?;
                     // Walk `a` down the path until adjacent to b's position.
                     for window in path.windows(2) {
                         let (from, to) = (window[0], window[1]);
@@ -250,11 +248,7 @@ mod tests {
 
     /// Remaps a logical output distribution through the final layout so it
     /// can be compared with the routed circuit's physical distribution.
-    fn remap_distribution(
-        logical: &[f64],
-        layout: &[u32],
-        physical_qubits: u32,
-    ) -> Vec<f64> {
+    fn remap_distribution(logical: &[f64], layout: &[u32], physical_qubits: u32) -> Vec<f64> {
         let mut out = vec![0.0; 1 << physical_qubits];
         for (idx, &p) in logical.iter().enumerate() {
             let mut phys_idx = 0usize;
@@ -356,10 +350,7 @@ mod tests {
     fn too_wide_circuit_is_an_error() {
         let map = CouplingMap::linear(2);
         let c = Circuit::new(3);
-        assert!(matches!(
-            route(&c, &map),
-            Err(RouteError::TooWide { .. })
-        ));
+        assert!(matches!(route(&c, &map), Err(RouteError::TooWide { .. })));
     }
 
     #[test]
@@ -367,10 +358,7 @@ mod tests {
         let map = CouplingMap::new(4, &[(0, 1), (2, 3)]);
         let mut c = Circuit::new(4);
         c.cnot(0, 3);
-        assert!(matches!(
-            route(&c, &map),
-            Err(RouteError::Disconnected(..))
-        ));
+        assert!(matches!(route(&c, &map), Err(RouteError::Disconnected(..))));
     }
 
     #[test]

@@ -224,8 +224,15 @@ mod tests {
 
     #[test]
     fn two_qubit_gates_preserved() {
-        for gate in [Gate::Cnot, Gate::OpenCnot, Gate::Cz, Gate::Zz(0.77), Gate::Swap, Gate::ISwap, Gate::Cr(1.1)]
-        {
+        for gate in [
+            Gate::Cnot,
+            Gate::OpenCnot,
+            Gate::Cz,
+            Gate::Zz(0.77),
+            Gate::Swap,
+            Gate::ISwap,
+            Gate::Cr(1.1),
+        ] {
             let mut c = Circuit::new(2);
             c.push(gate, &[0, 1]);
             check_both(&c);
@@ -324,8 +331,8 @@ mod tests {
         // The Eq. 2 analog in our conventions.
         use quant_sim::gates::{rx, rz, u3};
         for &(t, p, l) in &[(0.7, 1.3, -0.4), (2.1, -0.9, 0.5)] {
-            let cand = &(&(&(&rz(p + PI) * &rx(FRAC_PI_2)) * &rz(t + PI)) * &rx(FRAC_PI_2))
-                * &rz(l);
+            let cand =
+                &(&(&(&rz(p + PI) * &rx(FRAC_PI_2)) * &rz(t + PI)) * &rx(FRAC_PI_2)) * &rz(l);
             assert!(cand.phase_invariant_diff(&u3(t, p, l)) < 1e-9);
         }
         let _ = CMat::identity(2);

@@ -100,7 +100,9 @@ pub enum Tier {
 /// set and the optimized flow's ZZ detection has something to find.
 fn controlled_phase(c: &mut Circuit, control: u32, target: u32, theta: f64) {
     c.rz(control, theta / 2.0).rz(target, theta / 2.0);
-    c.cnot(control, target).rz(target, -theta / 2.0).cnot(control, target);
+    c.cnot(control, target)
+        .rz(target, -theta / 2.0)
+        .cnot(control, target);
 }
 
 /// The n-qubit QFT without the final bit-reversal swaps (the common
@@ -139,7 +141,10 @@ fn toffoli(c: &mut Circuit, c1: u32, c2: u32, t: u32) {
 ///
 /// Panics when an input value needs more than `bits` bits.
 pub fn ripple_adder(bits: u32, a: u64, b: u64) -> Circuit {
-    assert!(bits >= 1 && a < (1 << bits) && b < (1 << bits), "inputs exceed {bits} bits");
+    assert!(
+        bits >= 1 && a < (1 << bits) && b < (1 << bits),
+        "inputs exceed {bits} bits"
+    );
     let n = 2 * bits + 2;
     let mut c = Circuit::new(n);
     let qa = |i: u32| 1 + 2 * i; // a_i
@@ -276,7 +281,11 @@ pub fn generate(tier: Tier) -> Vec<CorpusEntry> {
             for n in 2..=4u32 {
                 push(Family::Qft, format!("qft_n{n}"), qft(n));
             }
-            push(Family::Adder, "adder_1b_a1_b1".into(), ripple_adder(1, 1, 1));
+            push(
+                Family::Adder,
+                "adder_1b_a1_b1".into(),
+                ripple_adder(1, 1, 1),
+            );
             for n in 2..=4u32 {
                 push(
                     Family::Clifford,
@@ -394,7 +403,10 @@ mod tests {
             assert!(
                 p[idx] > 1.0 - 1e-9,
                 "{bits}-bit {a}+{b}: expected basis state {idx}, got {:?}",
-                p.iter().enumerate().filter(|(_, &x)| x > 1e-6).collect::<Vec<_>>()
+                p.iter()
+                    .enumerate()
+                    .filter(|(_, &x)| x > 1e-6)
+                    .collect::<Vec<_>>()
             );
         }
     }
@@ -417,7 +429,9 @@ mod tests {
             1,
             "smoke keeps exactly one wide (trajectory-path) circuit"
         );
-        assert!(smoke.iter().any(|e| e.width == 10 && e.family == Family::Qaoa));
+        assert!(smoke
+            .iter()
+            .any(|e| e.width == 10 && e.family == Family::Qaoa));
 
         let full = generate(Tier::Full);
         assert!(
@@ -444,8 +458,8 @@ mod tests {
         // Every generated gate must survive a print→parse round trip, so
         // the corpus doubles as the emitter's test vector set.
         let printable = [
-            "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "rz",
-            "u3", "cx", "cz", "swap", "zz", "barrier",
+            "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "u3", "cx", "cz",
+            "swap", "zz", "barrier",
         ];
         for entry in generate(Tier::Full) {
             for op in entry.circuit.ops() {

@@ -40,7 +40,8 @@ pub fn render(report: &CorpusReport) -> String {
              std_2q={} opt_2q={} std_dur={} opt_dur={} \
              std_pulses={} opt_pulses={} \
              std_fid_bits={:016x} opt_fid_bits={:016x} \
-             std_counts={:016x} opt_counts={:016x}",
+             std_counts={:016x} opt_counts={:016x} \
+             std_verified={} opt_verified={}",
             c.name,
             c.family,
             c.width,
@@ -59,6 +60,8 @@ pub fn render(report: &CorpusReport) -> String {
             c.optimized.fidelity.to_bits(),
             c.standard.counts_checksum,
             c.optimized.counts_checksum,
+            c.standard.verified,
+            c.optimized.verified,
         );
     }
     out
@@ -77,7 +80,10 @@ fn parse_line(line: &str) -> Option<(String, Vec<(String, String)>)> {
 }
 
 fn lookup<'a>(fields: &'a [(String, String)], key: &str) -> Option<&'a str> {
-    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
 }
 
 /// Classifies a single changed field for the failure message.
@@ -90,13 +96,11 @@ fn classify(field: &str, golden: &str, current: &str) -> &'static str {
         }
     };
     match field {
-        "std_dur" | "opt_dur" => {
-            match (as_u64(golden, false), as_u64(current, false)) {
-                (Some(g), Some(c)) if c > g => "REGRESSION (schedule longer)",
-                (Some(g), Some(c)) if c < g => "improvement (schedule shorter)",
-                _ => "changed",
-            }
-        }
+        "std_dur" | "opt_dur" => match (as_u64(golden, false), as_u64(current, false)) {
+            (Some(g), Some(c)) if c > g => "REGRESSION (schedule longer)",
+            (Some(g), Some(c)) if c < g => "improvement (schedule shorter)",
+            _ => "changed",
+        },
         "std_fid_bits" | "opt_fid_bits" => {
             let fid = |s: &str| as_u64(s, true).map(f64::from_bits);
             match (fid(golden), fid(current)) {
@@ -106,6 +110,11 @@ fn classify(field: &str, golden: &str, current: &str) -> &'static str {
             }
         }
         "std_counts" | "opt_counts" => "changed (counts differ — determinism suspect)",
+        "std_verified" | "opt_verified" => match (golden, current) {
+            ("true", "false") => "REGRESSION (schedule no longer verifies)",
+            ("false", "true") => "improvement (schedule now verifies)",
+            _ => "changed",
+        },
         _ => "changed",
     }
 }
@@ -177,15 +186,25 @@ mod tests {
     fn shorter_schedule_is_an_improvement_but_still_a_diff() {
         let current = GOLDEN.replace("opt_dur=80", "opt_dur=70");
         let d = diff(GOLDEN, &current);
-        assert!(d.iter().any(|l| l.contains("improvement (schedule shorter)")), "{d:?}");
+        assert!(
+            d.iter()
+                .any(|l| l.contains("improvement (schedule shorter)")),
+            "{d:?}"
+        );
     }
 
     #[test]
     fn fidelity_drop_is_a_regression() {
         // 0.5 -> 0.25 (3fd0... < 3fe0... as f64).
-        let current = GOLDEN.replace("std_fid_bits=3fe0000000000000", "std_fid_bits=3fd0000000000000");
+        let current = GOLDEN.replace(
+            "std_fid_bits=3fe0000000000000",
+            "std_fid_bits=3fd0000000000000",
+        );
         let d = diff(GOLDEN, &current);
-        assert!(d.iter().any(|l| l.contains("REGRESSION (fidelity down)")), "{d:?}");
+        assert!(
+            d.iter().any(|l| l.contains("REGRESSION (fidelity down)")),
+            "{d:?}"
+        );
     }
 
     #[test]

@@ -13,9 +13,7 @@
 //! through [`TrajectoryExecutor::try_run_pooled`] with an explicit root,
 //! so counts are bit-identical at any `OPC_THREADS`.
 
-use pulse_compiler::{
-    route, CompileMode, Compiled, Compiler, CouplingMap, LowerError, RouteError,
-};
+use pulse_compiler::{route, CompileMode, Compiled, Compiler, CouplingMap, LowerError, RouteError};
 use quant_char::{counts_to_distribution, hellinger_fidelity};
 use quant_circuit::{qasm, Circuit};
 use quant_device::{
@@ -211,8 +209,7 @@ pub fn execute_compiled(
         }
         let mut jitter = seeded(stream_seed(config.seed, 0));
         let outcome = exec.try_run(&compiled.program, &mut jitter)?;
-        let counts =
-            outcome.sample_counts_deterministic(stream_seed(config.seed, 1), config.shots);
+        let counts = outcome.sample_counts_deterministic(stream_seed(config.seed, 1), config.shots);
         Ok((ExecutorKind::Density, counts))
     } else {
         let mut exec = TrajectoryExecutor::new(device, config.trajectories);
@@ -290,8 +287,8 @@ mod tests {
         let (device, calibration) = setup(2);
         let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n";
         let cfg = PipelineConfig::default();
-        let run = run_qasm(&device, &calibration, src, &cfg, &ShotPool::serial())
-            .expect("bell pipeline");
+        let run =
+            run_qasm(&device, &calibration, src, &cfg, &ShotPool::serial()).expect("bell pipeline");
         assert_eq!(run.executor, ExecutorKind::Density);
         assert_eq!(run.counts.iter().sum::<u64>(), cfg.shots as u64);
         assert!(run.duration_dt > 0 && run.pulse_count > 0);
@@ -349,6 +346,9 @@ mod tests {
             &ShotPool::serial(),
         )
         .expect_err("4 logical on 2 physical must fail");
-        assert!(matches!(err, PipelineError::Route(RouteError::TooWide { .. })));
+        assert!(matches!(
+            err,
+            PipelineError::Route(RouteError::TooWide { .. })
+        ));
     }
 }

@@ -108,6 +108,8 @@ pub struct FlowMetrics {
     pub fidelity: f64,
     /// FNV-1a checksum of the measured counts (thread-identity witness).
     pub counts_checksum: u64,
+    /// `pulse::verify` found zero issues in the compiled schedule.
+    pub verified: bool,
     /// Compile wall-clock, when a clock was injected.
     pub wall_ms: Option<u64>,
 }
@@ -205,8 +207,11 @@ impl CorpusReport {
         Family::all()
             .into_iter()
             .filter_map(|family| {
-                let rows: Vec<&CircuitReport> =
-                    self.circuits.iter().filter(|c| c.family == family).collect();
+                let rows: Vec<&CircuitReport> = self
+                    .circuits
+                    .iter()
+                    .filter(|c| c.family == family)
+                    .collect();
                 if rows.is_empty() {
                     return None;
                 }
@@ -218,10 +223,7 @@ impl CorpusReport {
                     mean_duration_ratio: (log_ratio / n).exp(),
                     mean_fidelity_standard: rows.iter().map(|r| r.standard.fidelity).sum::<f64>()
                         / n,
-                    mean_fidelity_optimized: rows
-                        .iter()
-                        .map(|r| r.optimized.fidelity)
-                        .sum::<f64>()
+                    mean_fidelity_optimized: rows.iter().map(|r| r.optimized.fidelity).sum::<f64>()
                         / n,
                 })
             })
@@ -256,6 +258,7 @@ impl CorpusReport {
                 h = fnv1a(h, flow.pulse_count as u64);
                 h = fnv1a(h, flow.fidelity.to_bits());
                 h = fnv1a(h, flow.counts_checksum);
+                h = fnv1a(h, flow.verified as u64);
             }
         }
         h
@@ -301,7 +304,8 @@ impl CorpusReport {
                 format!(
                     "{{\"swaps\": {}, \"depth\": {}, \"two_qubit_gates\": {}, \
                      \"duration_dt\": {}, \"pulse_count\": {}, \"executor\": \"{}\", \
-                     \"fidelity\": {:?}, \"counts_checksum\": \"{:016x}\", \"wall_ms\": {}}}",
+                     \"fidelity\": {:?}, \"counts_checksum\": \"{:016x}\", \
+                     \"verified\": {}, \"wall_ms\": {}}}",
                     f.swaps,
                     f.depth,
                     f.two_qubit_gates,
@@ -310,6 +314,7 @@ impl CorpusReport {
                     f.executor.name(),
                     f.fidelity,
                     f.counts_checksum,
+                    f.verified,
                     f.wall_ms.map_or("null".to_string(), |w| w.to_string()),
                 )
             };
@@ -372,13 +377,14 @@ impl CorpusReport {
         ));
         out.push_str("## Per-circuit results\n\n");
         out.push_str(
-            "| circuit | n | exec | swaps | depth s/o | duration dt s/o | ratio | pulses s/o | fid s | fid o | wall ms s/o |\n",
+            "| circuit | n | exec | swaps | depth s/o | duration dt s/o | ratio | pulses s/o | fid s | fid o | verified s/o | wall ms s/o |\n",
         );
-        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
         for c in &self.circuits {
             let wall = |f: &FlowMetrics| f.wall_ms.map_or("-".to_string(), |w| w.to_string());
+            let verified = |f: &FlowMetrics| if f.verified { "yes" } else { "NO" };
             out.push_str(&format!(
-                "| {} | {} | {} | {}/{} | {}/{} | {}/{} | {:.3} | {}/{} | {:.4} | {:.4} | {}/{} |\n",
+                "| {} | {} | {} | {}/{} | {}/{} | {}/{} | {:.3} | {}/{} | {:.4} | {:.4} | {}/{} | {}/{} |\n",
                 c.name,
                 c.width,
                 c.optimized.executor.name(),
@@ -393,6 +399,8 @@ impl CorpusReport {
                 c.optimized.pulse_count,
                 c.standard.fidelity,
                 c.optimized.fidelity,
+                verified(&c.standard),
+                verified(&c.optimized),
                 wall(&c.standard),
                 wall(&c.optimized),
             ));
@@ -424,8 +432,7 @@ impl Backends {
         let mut rng = seeded(stream_seed(self.device_seed, width as u64));
         let device = DeviceModel::almaden_like(width as usize, &mut rng);
         let root = rng.gen::<u64>();
-        let calibration =
-            Calibration::run_seeded(&device, &CalibrationOptions::default(), root);
+        let calibration = Calibration::run_seeded(&device, &CalibrationOptions::default(), root);
         self.setups.push((width, device, calibration));
         self.setups.len() - 1
     }
@@ -450,6 +457,11 @@ fn run_flow(
         let t1 = clock.as_ref().map(|c| c()).unwrap_or(t0);
         t1.saturating_sub(t0)
     });
+    // Re-run the static verifier explicitly (the in-compiler pass would
+    // already have failed the compile) so the report records the result
+    // as data even under `OPC_VERIFY=0`.
+    let verified =
+        quant_pulse::verify(&cc.compiled.program.schedule, &device.verify_spec()).is_empty();
     let (executor, counts) = execute_compiled(device, &cc, config, pool).map_err(tag)?;
     let ideal = cc.routed.circuit.output_distribution();
     let fidelity = hellinger_fidelity(&ideal, &counts_to_distribution(&counts));
@@ -462,6 +474,7 @@ fn run_flow(
         executor,
         fidelity,
         counts_checksum: counts_checksum(&counts),
+        verified,
         wall_ms,
     })
 }

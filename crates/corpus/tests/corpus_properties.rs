@@ -102,8 +102,13 @@ fn wide_trajectory_counts_are_pool_size_independent() {
         .find(|e| e.name == "qaoa_n8_p1")
         .expect("qaoa_n8_p1 in full tier");
     let (device, calibration) = backend(entry.width, 7);
-    let cc = compile_circuit(&device, &calibration, &entry.circuit, CompileMode::Optimized)
-        .expect("compile qaoa_n8_p1");
+    let cc = compile_circuit(
+        &device,
+        &calibration,
+        &entry.circuit,
+        CompileMode::Optimized,
+    )
+    .expect("compile qaoa_n8_p1");
     let config = PipelineConfig {
         shots: 256,
         trajectories: 8,
@@ -118,4 +123,34 @@ fn wide_trajectory_counts_are_pool_size_independent() {
     assert_eq!(kind_pooled.name(), "trajectory");
     assert_eq!(serial, pooled, "trajectory counts depend on the pool size");
     assert_eq!(serial.iter().sum::<u64>(), 256);
+}
+
+#[test]
+fn every_full_tier_schedule_passes_static_verification() {
+    // 4. The acceptance bar for the verifier rollout: every corpus
+    //    circuit — full tier, both compilation flows — produces a
+    //    schedule with zero `pulse::verify` findings. Compile-only
+    //    (no execution), with one backend per register width.
+    let mut backends: std::collections::BTreeMap<u32, _> = std::collections::BTreeMap::new();
+    for entry in generate(Tier::Full) {
+        let (device, calibration) = backends
+            .entry(entry.width)
+            .or_insert_with(|| backend(entry.width, 7));
+        for mode in [CompileMode::Standard, CompileMode::Optimized] {
+            let cc = compile_circuit(device, calibration, &entry.circuit, mode)
+                .unwrap_or_else(|e| panic!("{} ({mode:?}): {e}", entry.name));
+            let findings =
+                quant_pulse::verify(&cc.compiled.program.schedule, &device.verify_spec());
+            assert!(
+                findings.is_empty(),
+                "{} ({mode:?}) failed verification:\n{}",
+                entry.name,
+                findings
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
 }

@@ -23,8 +23,8 @@ use std::path::Path;
 
 #[test]
 fn smoke_corpus_matches_committed_golden() {
-    let report = run_corpus(&CorpusOptions::default(), &ShotPool::from_env())
-        .expect("smoke corpus run");
+    let report =
+        run_corpus(&CorpusOptions::default(), &ShotPool::from_env()).expect("smoke corpus run");
     let current = golden::render(&report);
 
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/corpus_smoke.txt");
@@ -55,8 +55,8 @@ fn smoke_corpus_matches_committed_golden() {
 fn smoke_corpus_meets_the_paper_claim() {
     // The acceptance bar: pulse-level compilation beats gate-level on
     // schedule duration for at least 3 of the 5 families.
-    let report = run_corpus(&CorpusOptions::default(), &ShotPool::from_env())
-        .expect("smoke corpus run");
+    let report =
+        run_corpus(&CorpusOptions::default(), &ShotPool::from_env()).expect("smoke corpus run");
     let wins = report.families_where_pulse_wins();
     assert!(
         wins >= 3,
@@ -80,6 +80,10 @@ fn report_checksum_is_reproducible_in_process() {
     let opts = CorpusOptions::default();
     let a = run_corpus(&opts, &ShotPool::from_env()).expect("first run");
     let b = run_corpus(&opts, &ShotPool::from_env()).expect("second run");
-    assert_eq!(a.checksum(), b.checksum(), "corpus run is not a pure function");
+    assert_eq!(
+        a.checksum(),
+        b.checksum(),
+        "corpus run is not a pure function"
+    );
     assert_eq!(golden::render(&a), golden::render(&b));
 }

@@ -163,7 +163,9 @@ pub fn pair_schedule_key(
                 k.word(14);
                 k.word(*duration);
             }
-            Instruction::Acquire { duration, qubit, .. } => {
+            Instruction::Acquire {
+                duration, qubit, ..
+            } => {
                 k.word(15);
                 k.word(*duration);
                 k.word(*qubit as u64);
@@ -264,10 +266,7 @@ impl PulseCache {
     /// An empty cache. Enabled unless `OPC_PULSE_CACHE` is set to `0`,
     /// `off` or `false`.
     pub fn new() -> Self {
-        let enabled = match std::env::var("OPC_PULSE_CACHE") {
-            Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
-            Err(_) => true,
-        };
+        let enabled = crate::knobs::pulse_cache();
         PulseCache {
             enabled: AtomicBool::new(enabled),
             inner: Mutex::new(Inner::default()),
@@ -379,10 +378,7 @@ impl ProbeCache {
     /// An empty probe cache. Enabled unless `OPC_PROBE_CACHE` is set to
     /// `0`, `off` or `false`.
     pub fn new() -> Self {
-        let enabled = match std::env::var("OPC_PROBE_CACHE") {
-            Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
-            Err(_) => true,
-        };
+        let enabled = crate::knobs::probe_cache();
         Self::with_enabled(enabled)
     }
 
@@ -620,9 +616,6 @@ mod tests {
         a = Waveform::new("w", samples);
         let p = TransmonParams::almaden_like();
         let s = DriveState::default();
-        assert_ne!(
-            single_play_key(&p, &s, &a),
-            single_play_key(&p, &s, &b)
-        );
+        assert_ne!(single_play_key(&p, &s, &a), single_play_key(&p, &s, &b));
     }
 }

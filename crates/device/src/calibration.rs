@@ -19,9 +19,7 @@ use crate::params::DT;
 use crate::snapshot::{snapshot_key, CalStore};
 use crate::twoqubit::{extract_control_z, extract_zx_angle};
 use quant_math::{fit_cosine, normal, seeded, stream_seed};
-use quant_pulse::{
-    Channel, CmdDef, CmdKey, Drag, GaussianSquare, Instruction, Schedule,
-};
+use quant_pulse::{Channel, CmdDef, CmdKey, Drag, GaussianSquare, Instruction, Schedule};
 use rand::Rng;
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, TAU};
 
@@ -58,7 +56,8 @@ impl QubitCalibration {
     /// rx180 pulse with amplitude scaled by `θ/π`. Negative θ flips the
     /// drive sign.
     pub fn direct_rx_waveform(&self, theta: f64, name: impl Into<String>) -> quant_pulse::Waveform {
-        self.rx180_waveform(name).scaled(theta / std::f64::consts::PI)
+        self.rx180_waveform(name)
+            .scaled(theta / std::f64::consts::PI)
     }
 
     /// The empirical phase correction `(a, c)` for `DirectRx(θ)`,
@@ -118,13 +117,7 @@ impl QubitCalibration {
 
     /// Appends the phase-corrected rx90 pulse to a schedule on `channel`,
     /// after the given barrier channels.
-    pub fn append_rx90(
-        &self,
-        s: &mut Schedule,
-        channel: Channel,
-        barrier: &[Channel],
-        name: &str,
-    ) {
+    pub fn append_rx90(&self, s: &mut Schedule, channel: Channel, barrier: &[Channel], name: &str) {
         append_corrected(
             s,
             self.rx90_waveform(name),
@@ -161,14 +154,8 @@ fn append_corrected(
     channel: Channel,
     barrier: &[Channel],
 ) {
-    s.append_after(
-        Instruction::ShiftPhase { phase: c, channel },
-        barrier,
-    );
-    s.append_after(
-        Instruction::Play { waveform, channel },
-        barrier,
-    );
+    s.append_after(Instruction::ShiftPhase { phase: c, channel }, barrier);
+    s.append_after(Instruction::Play { waveform, channel }, barrier);
     s.append(Instruction::ShiftPhase { phase: a, channel });
 }
 
@@ -560,7 +547,11 @@ fn calibrate_qubit(
     // tomography-extracted angle) and detuning (minimize the axis tilt,
     // visible as the Z-sandwich phases of the ZXZ form).
     let angle = |amp: f64, det: f64, beta: f64| -> f64 {
-        let (amp, det, beta) = (quantize_probe(amp), quantize_probe(det), quantize_probe(beta));
+        let (amp, det, beta) = (
+            quantize_probe(amp),
+            quantize_probe(det),
+            quantize_probe(beta),
+        );
         let u = integrate(&mk(amp, beta).waveform_detuned("p", det)).qubit_block();
         quant_sim::euler_zxz(&u).1
     };
@@ -649,11 +640,7 @@ fn calibrate_qubit(
     let mut direct_rx_table = Vec::with_capacity(41);
     direct_rx_table.push((0.0, 0.0, 0.0));
     for (s, a, c) in corrections {
-        direct_rx_table.push((
-            s,
-            a + normal(rng, 0.0, 2e-3),
-            c + normal(rng, 0.0, 2e-3),
-        ));
+        direct_rx_table.push((s, a + normal(rng, 0.0, 2e-3), c + normal(rng, 0.0, 2e-3)));
     }
 
     QubitCalibration {
@@ -706,9 +693,8 @@ fn calibrate_pair(
         ..probe
     };
     let edge_area = edge.waveform("edge").area().re;
-    let width_for_area = |area: f64| -> u64 {
-        ((area - edge_area) / opts.cr_amp).max(0.0).round() as u64
-    };
+    let width_for_area =
+        |area: f64| -> u64 { ((area - edge_area) / opts.cr_amp).max(0.0).round() as u64 };
     let mk_cr45 = |width: u64| GaussianSquare {
         duration: 8 * opts.cr_sigma as u64 + width,
         amp: opts.cr_amp,
@@ -902,10 +888,7 @@ mod tests {
                 device.control_channel(0, 1).unwrap(),
             );
             let got = extract_zx_angle(&r.unitary);
-            assert!(
-                (got - theta).abs() < 0.05,
-                "θ = {theta}: extracted {got}"
-            );
+            assert!((got - theta).abs() < 0.05, "θ = {theta}: extracted {got}");
         }
     }
 

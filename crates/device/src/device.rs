@@ -12,7 +12,7 @@ use crate::params::{CrParams, DriftParams, ReadoutParams, TransmonParams};
 use crate::transmon::Transmon;
 use crate::twoqubit::CrPair;
 use quant_math::normal;
-use quant_pulse::Channel;
+use quant_pulse::{Channel, VerifySpec};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -64,11 +64,9 @@ impl DeviceModel {
                 TransmonParams {
                     f01: base.f01 + normal(rng, 0.0, 40e6),
                     alpha: base.alpha + normal(rng, 0.0, 5e6),
-                    rabi_hz_per_amp: base.rabi_hz_per_amp
-                        * (1.0 + normal(rng, 0.0, 0.03)),
+                    rabi_hz_per_amp: base.rabi_hz_per_amp * (1.0 + normal(rng, 0.0, 0.03)),
                     t1,
-                    t2: (base.t2 * (1.0 + normal(rng, 0.0, 0.15)))
-                        .clamp(10e-6, 2.0 * t1),
+                    t2: (base.t2 * (1.0 + normal(rng, 0.0, 0.15))).clamp(10e-6, 2.0 * t1),
                 }
             })
             .collect();
@@ -80,8 +78,7 @@ impl DeviceModel {
                     control: c,
                     target: t,
                     cr: CrParams {
-                        zx_hz_per_amp: cr_base.zx_hz_per_amp
-                            * (1.0 + normal(rng, 0.0, 0.05)),
+                        zx_hz_per_amp: cr_base.zx_hz_per_amp * (1.0 + normal(rng, 0.0, 0.05)),
                         ..cr_base
                     },
                 });
@@ -108,11 +105,7 @@ impl DeviceModel {
     /// Builds an Almaden-like device over an arbitrary undirected coupling
     /// topology: each undirected edge becomes two directed CR edges. Use
     /// with the compiler's routing pass for lattice devices.
-    pub fn with_topology(
-        n: usize,
-        undirected_edges: &[(u32, u32)],
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn with_topology(n: usize, undirected_edges: &[(u32, u32)], rng: &mut impl Rng) -> Self {
         let mut model = DeviceModel::almaden_like(n.max(1), rng);
         let cr_base = CrParams::almaden_like();
         model.edges.clear();
@@ -123,8 +116,7 @@ impl DeviceModel {
                     control: c,
                     target: t,
                     cr: CrParams {
-                        zx_hz_per_amp: cr_base.zx_hz_per_amp
-                            * (1.0 + normal(rng, 0.0, 0.05)),
+                        zx_hz_per_amp: cr_base.zx_hz_per_amp * (1.0 + normal(rng, 0.0, 0.05)),
                         ..cr_base
                     },
                 });
@@ -282,6 +274,33 @@ impl DeviceModel {
     /// The directed pair served by control channel `k`.
     pub fn pair_for_control(&self, k: u32) -> Option<&CouplingEdge> {
         self.edges.get(k as usize)
+    }
+
+    /// The static-verification envelope for schedules compiled against
+    /// this device: qubit count, coupled control pairs, full-scale
+    /// amplitude, and a generous local-oscillator band around the qubit
+    /// spectrum (wide enough for the qudit-addressing shifts to f12 and
+    /// f02/2, tight enough to catch order-of-magnitude mistakes).
+    pub fn verify_spec(&self) -> VerifySpec {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for q in &self.qubits {
+            // alpha is negative, so f12 = f01 + alpha sits below f01.
+            lo = lo.min(q.f01 + q.alpha.min(0.0));
+            hi = hi.max(q.f01 + q.alpha.max(0.0));
+        }
+        let margin = 0.5e9;
+        if !(lo.is_finite() && hi.is_finite()) {
+            (lo, hi) = (margin, margin);
+        }
+        VerifySpec {
+            num_qubits: self.qubits.len() as u32,
+            control_pairs: self.edges.iter().map(|e| (e.control, e.target)).collect(),
+            max_amp: 1.0,
+            freq_band: (lo - margin, hi + margin),
+            max_freq_shift: 1.0e9,
+            align_dt: 1,
+        }
     }
 
     /// Integrator for qubit `q` with **calibration-time** parameters (what

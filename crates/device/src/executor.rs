@@ -24,7 +24,7 @@ use crate::device::DeviceModel;
 use crate::params::DT;
 use crate::readout;
 use crate::transmon::DriveState;
-use quant_math::{normal, C64, CMat};
+use quant_math::{normal, CMat, C64};
 use quant_pulse::{Channel, Instruction, Schedule};
 use quant_sim::{channels, DensityMatrix, KernelScratch};
 use rand::Rng;
@@ -108,9 +108,7 @@ impl Block {
     /// Duration of the block in `dt`.
     pub fn duration(&self) -> u64 {
         match self {
-            Block::Gate1Q { waveforms, .. } => {
-                waveforms.iter().map(|w| w.duration()).sum()
-            }
+            Block::Gate1Q { waveforms, .. } => waveforms.iter().map(|w| w.duration()).sum(),
             Block::Gate2Q { schedule, .. } => schedule.duration(),
             Block::Idle { duration, .. } => *duration,
         }
@@ -297,11 +295,10 @@ impl<'a> PulseExecutor<'a> {
                             &DriveState::default(),
                             &w,
                         );
-                        let u3x3 =
-                            self.device.pulse_cache().get_or_integrate(key, || {
-                                let mut state = DriveState::default();
-                                transmon.integrate_play(&mut state, &w)
-                            });
+                        let u3x3 = self.device.pulse_cache().get_or_integrate(key, || {
+                            let mut state = DriveState::default();
+                            transmon.integrate_play(&mut state, &w)
+                        });
                         let kraus = qubit_block_kraus(&u3x3);
                         self.apply_kraus_ctx(&mut rho, &kraus, &[q], &mut ctx);
                         let dur = w.duration();
@@ -353,16 +350,15 @@ impl<'a> PulseExecutor<'a> {
                         Channel::Drive(*target),
                         u_ch,
                     );
-                    let unitary =
-                        self.device.pulse_cache().get_or_integrate(key, || {
-                            pair.integrate(
-                                &schedule,
-                                Channel::Drive(*control),
-                                Channel::Drive(*target),
-                                u_ch,
-                            )
-                            .unitary
-                        });
+                    let unitary = self.device.pulse_cache().get_or_integrate(key, || {
+                        pair.integrate(
+                            &schedule,
+                            Channel::Drive(*control),
+                            Channel::Drive(*target),
+                            u_ch,
+                        )
+                        .unitary
+                    });
                     // The raw propagator is what physically happened;
                     // leftover virtual-Z frames are compiler bookkeeping
                     // (baked into *subsequent* pulses by the lowering pass)
@@ -371,12 +367,7 @@ impl<'a> PulseExecutor<'a> {
                     // computational-basis measurement cannot see. The qubit
                     // block is slightly sub-unitary (|2⟩ leakage); complete
                     // it to a CPTP channel.
-                    self.apply_kraus_ctx(
-                        &mut rho,
-                        &contraction_kraus(&unitary),
-                        &[c, t],
-                        &mut ctx,
-                    );
+                    self.apply_kraus_ctx(&mut rho, &contraction_kraus(&unitary), &[c, t], &mut ctx);
                     let dur = schedule.duration();
                     if self.noisy {
                         self.relax(&mut rho, *control, dur, &mut ctx);
@@ -402,9 +393,7 @@ impl<'a> PulseExecutor<'a> {
 
         let true_probabilities = rho.probabilities();
         let probabilities = if self.noisy {
-            let readouts: Vec<_> = (0..n as u32)
-                .map(|q| *self.device.readout(q))
-                .collect();
+            let readouts: Vec<_> = (0..n as u32).map(|q| *self.device.readout(q)).collect();
             readout::apply_confusion(&true_probabilities, &readouts)
         } else {
             true_probabilities.clone()
@@ -419,11 +408,7 @@ impl<'a> PulseExecutor<'a> {
     /// Runs a raw single-qutrit schedule (drive channel 0) on the 3-level
     /// density matrix, returning level populations and, optionally,
     /// sampled IQ points per shot.
-    pub fn run_qutrit(
-        &self,
-        schedule: &Schedule,
-        rng: &mut impl Rng,
-    ) -> QutritOutcome {
+    pub fn run_qutrit(&self, schedule: &Schedule, rng: &mut impl Rng) -> QutritOutcome {
         let transmon = self.device.transmon_exec(0);
         let p = *transmon.params();
         let mut rho = DensityMatrix::zero(&[3]);
@@ -486,6 +471,7 @@ impl<'a> PulseExecutor<'a> {
     /// Applies per-pulse additive amplitude jitter.
     fn jittered(&self, w: &quant_pulse::Waveform, rng: &mut impl Rng) -> quant_pulse::Waveform {
         let sigma = self.device.pulse_amp_jitter();
+        // opclint: allow(float-literal-eq): exact short-circuit — noiseless devices report a literal 0.0 jitter sigma
         if !self.noisy || sigma == 0.0 {
             return w.clone();
         }
@@ -531,7 +517,10 @@ impl<'a> PulseExecutor<'a> {
             }
             return;
         }
-        let EvolveCtx { scratch, relax_memo } = ctx;
+        let EvolveCtx {
+            scratch,
+            relax_memo,
+        } = ctx;
         let kraus = relax_memo
             .entry((qubit, samples))
             .or_insert_with(|| channels::thermal_relaxation_kraus(t, p.t1, p.t2));
@@ -571,9 +560,7 @@ pub struct ShotPool {
 fn host_parallelism() -> usize {
     static LIMIT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *LIMIT.get_or_init(|| {
-        let oversubscribe = std::env::var("OPC_OVERSUBSCRIBE")
-            .is_ok_and(|v| v.trim() == "1");
-        if oversubscribe {
+        if crate::knobs::oversubscribe() {
             return usize::MAX;
         }
         std::thread::available_parallelism().map_or(usize::MAX, |n| n.get())
@@ -596,13 +583,8 @@ impl ShotPool {
     /// Thread count from `OPC_THREADS`, defaulting to the number of
     /// available cores.
     pub fn from_env() -> Self {
-        let threads = std::env::var("OPC_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            });
+        let threads = crate::knobs::threads()
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         ShotPool::new(threads)
     }
 
@@ -767,6 +749,7 @@ impl QutritOutcome {
 /// Returns a copy of a schedule with fresh additive amplitude jitter on
 /// every `Play`.
 fn jitter_schedule(schedule: &Schedule, sigma: f64, rng: &mut impl Rng) -> Schedule {
+    // opclint: allow(float-literal-eq): exact short-circuit — noiseless devices report a literal 0.0 jitter sigma
     if sigma == 0.0 {
         return schedule.clone();
     }
@@ -803,10 +786,7 @@ fn jitter_schedule(schedule: &Schedule, sigma: f64, rng: &mut impl Rng) -> Sched
 /// Turns the 3-level propagator of a single-qubit pulse into a qubit-space
 /// Kraus channel: the (sub-unitary) qubit block plus completion operators.
 fn qubit_block_kraus(u3x3: &CMat) -> Vec<CMat> {
-    let b = CMat::from_rows(&[
-        &[u3x3[(0, 0)], u3x3[(0, 1)]],
-        &[u3x3[(1, 0)], u3x3[(1, 1)]],
-    ]);
+    let b = CMat::from_rows(&[&[u3x3[(0, 0)], u3x3[(0, 1)]], &[u3x3[(1, 0)], u3x3[(1, 1)]]]);
     contraction_kraus(&b)
 }
 
@@ -963,11 +943,7 @@ mod tests {
         let exec = PulseExecutor::noiseless(&device);
         let out = exec.run(&program, &mut rng);
         // |00⟩ → X on q0 → |01⟩(q0=1) → CNOT(0→1) → |11⟩ = index 3.
-        assert!(
-            out.probabilities[3] > 0.98,
-            "p = {:?}",
-            out.probabilities
-        );
+        assert!(out.probabilities[3] > 0.98, "p = {:?}", out.probabilities);
     }
 
     #[test]
@@ -1044,8 +1020,7 @@ mod tests {
         let shots = outcome.sample_iq_shots(&device, &mut rng, 500);
         assert_eq!(shots.len(), 500);
         let r = device.readout(0);
-        let mean_i: f64 =
-            shots.iter().map(|((i, _), _)| *i).sum::<f64>() / shots.len() as f64;
+        let mean_i: f64 = shots.iter().map(|((i, _), _)| *i).sum::<f64>() / shots.len() as f64;
         assert!((mean_i - r.iq0.0).abs() < 0.1, "mean I = {mean_i}");
     }
 }

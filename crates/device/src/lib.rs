@@ -17,6 +17,7 @@
 //! * [`readout`] — confusion-matrix readout error and IQ-cloud simulation.
 //! * [`snapshot`] — persistent on-disk calibration snapshots keyed by
 //!   device physics + options + seed (`OPC_CAL_CACHE`).
+//! * [`knobs`] — the consolidated `OPC_*` environment-knob surface.
 //! * [`executor`] — the noisy density-matrix executor for lowered programs.
 //!
 //! ```no_run
@@ -36,6 +37,7 @@ pub mod cache;
 pub mod calibration;
 pub mod device;
 pub mod executor;
+pub mod knobs;
 pub mod params;
 pub mod readout;
 pub mod snapshot;
@@ -44,15 +46,22 @@ pub mod transmon;
 pub mod tunable;
 pub mod twoqubit;
 
-pub use cache::{probe_key, quantize_probe, CacheStats, ProbeCache, ProbeKey, PulseCache, PulseKey};
-pub use calibration::{calibrate, Calibration, CalibrationOptions, PairCalibration, QubitCalibration};
+pub use cache::{
+    probe_key, quantize_probe, CacheStats, ProbeCache, ProbeKey, PulseCache, PulseKey,
+};
+pub use calibration::{
+    calibrate, Calibration, CalibrationOptions, PairCalibration, QubitCalibration,
+};
 pub use device::{CouplingEdge, DeviceModel};
-pub use snapshot::{snapshot_key, CalStore, CAL_ALGO_VERSION};
 pub use executor::{
     Block, ExecError, ExecOutcome, LoweredProgram, PulseExecutor, QutritOutcome, ShotPool,
 };
 pub use params::{CrParams, DriftParams, ReadoutParams, TransmonParams, DT};
-pub use transmon::{DriveState, FrameResult, Transmon};
+pub use snapshot::{snapshot_key, CalStore, CAL_ALGO_VERSION};
 pub use trajectory::TrajectoryExecutor;
+pub use transmon::{DriveState, FrameResult, Transmon};
 pub use tunable::{calibrate_xy, XyCalibration, XyPair, XyParams};
-pub use twoqubit::{extract_control_z, extract_zx_angle, lift_qubit_subspace, qubit_block_of, CrPair, PairFrameResult};
+pub use twoqubit::{
+    extract_control_z, extract_zx_angle, lift_qubit_subspace, qubit_block_of, CrPair,
+    PairFrameResult,
+};

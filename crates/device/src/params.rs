@@ -221,9 +221,8 @@ impl DriftParams {
 
     /// Total relative amplitude-error 1σ at execution time.
     pub fn total_sigma(&self) -> f64 {
-        (self.cal_amp_sigma.powi(2)
-            + (self.drift_per_hour * self.hours_since_cal.sqrt()).powi(2))
-        .sqrt()
+        (self.cal_amp_sigma.powi(2) + (self.drift_per_hour * self.hours_since_cal.sqrt()).powi(2))
+            .sqrt()
     }
 }
 
@@ -262,7 +261,10 @@ mod tests {
 
     #[test]
     fn coherence_times_physical() {
-        for q in [TransmonParams::almaden_like(), TransmonParams::armonk_like()] {
+        for q in [
+            TransmonParams::almaden_like(),
+            TransmonParams::armonk_like(),
+        ] {
             assert!(q.t2 <= 2.0 * q.t1);
             assert!(q.t1 > 0.0);
         }

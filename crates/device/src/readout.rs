@@ -22,6 +22,7 @@ pub fn apply_confusion(probs: &[f64], readouts: &[ReadoutParams]) -> Vec<f64> {
         let m = r.confusion();
         let mut next = vec![0.0; current.len()];
         for (i, &p) in current.iter().enumerate() {
+            // opclint: allow(float-literal-eq): exact skip — entries still at their initialized 0.0 carry no probability mass
             if p == 0.0 {
                 continue;
             }

@@ -101,10 +101,10 @@ impl CalStore {
     /// The store selected by `OPC_CAL_CACHE` (see module docs): a
     /// directory, the default under `target/`, or disabled.
     pub fn from_env() -> Self {
-        match std::env::var("OPC_CAL_CACHE") {
-            Ok(v) if matches!(v.trim(), "0" | "off" | "false") => CalStore::disabled(),
-            Ok(v) if !v.trim().is_empty() => CalStore::at(v.trim()),
-            _ => CalStore::at(default_dir()),
+        match crate::knobs::cal_cache() {
+            crate::knobs::CalCacheKnob::Disabled => CalStore::disabled(),
+            crate::knobs::CalCacheKnob::Dir(dir) => CalStore::at(dir),
+            crate::knobs::CalCacheKnob::Default => CalStore::at(default_dir()),
         }
     }
 

@@ -53,7 +53,7 @@ use crate::device::DeviceModel;
 use crate::executor::{Block, ExecError, LoweredProgram, ShotPool};
 use crate::params::DT;
 use crate::transmon::DriveState;
-use quant_math::{normal, seeded, stream_seed, C64, CMat};
+use quant_math::{normal, seeded, stream_seed, CMat, C64};
 use quant_pulse::{Channel, Instruction, Schedule, Waveform};
 use quant_sim::fusion::{FusionPlan, OpDesc, Step, MAX_FUSED_WEIGHT};
 use quant_sim::{channels, KernelScratch, StateVector};
@@ -119,7 +119,12 @@ struct TrajWorker {
 impl TrajWorker {
     fn new(n: usize, fused: Option<&FusedProgram>) -> Self {
         let blocks = match fused {
-            Some(fp) => fp.plan.blocks.iter().map(|b| RtBlock::new(&b.targets)).collect(),
+            Some(fp) => fp
+                .plan
+                .blocks
+                .iter()
+                .map(|b| RtBlock::new(&b.targets))
+                .collect(),
             None => Vec::new(),
         };
         TrajWorker {
@@ -197,14 +202,6 @@ pub struct TrajectoryExecutor<'a> {
     fusion: bool,
 }
 
-/// `OPC_FUSION` knob: fusion is on unless the variable is set to `0`.
-fn fusion_from_env() -> bool {
-    match std::env::var("OPC_FUSION") {
-        Ok(v) => v != "0",
-        Err(_) => true,
-    }
-}
-
 impl<'a> TrajectoryExecutor<'a> {
     /// Creates an executor that averages over `trajectories` noise
     /// realizations. Gate fusion defaults to the `OPC_FUSION`
@@ -216,7 +213,7 @@ impl<'a> TrajectoryExecutor<'a> {
             device,
             trajectories,
             reference: false,
-            fusion: fusion_from_env(),
+            fusion: crate::knobs::fusion(),
         }
     }
 
@@ -254,12 +251,7 @@ impl<'a> TrajectoryExecutor<'a> {
     /// Panics if the program addresses a pair the device topology does not
     /// couple; use [`TrajectoryExecutor::try_run`] to get the error as a
     /// value.
-    pub fn run(
-        &self,
-        program: &LoweredProgram,
-        shots: usize,
-        rng: &mut impl Rng,
-    ) -> Vec<u64> {
+    pub fn run(&self, program: &LoweredProgram, shots: usize, rng: &mut impl Rng) -> Vec<u64> {
         match self.try_run(program, shots, rng) {
             Ok(counts) => counts,
             Err(e) => panic!("{e}"),
@@ -560,7 +552,8 @@ impl<'a> TrajectoryExecutor<'a> {
                     } else {
                         (&mut head[*into], &tail[0])
                     };
-                    w.scratch.apply_left(&mut dst.acc, &src.acc, local, &dst.dims);
+                    w.scratch
+                        .apply_left(&mut dst.acc, &src.acc, local, &dst.dims);
                     let carried = w.blocks[*from].dirty;
                     w.blocks[*from].open = false;
                     w.blocks[*into].dirty |= carried;
@@ -707,13 +700,7 @@ impl<'a> TrajectoryExecutor<'a> {
     /// (`‖Kψ‖²` via [`KernelScratch::branch_weight`]) and only the chosen
     /// operator is applied — no per-branch clone of the `O(2ⁿ)` state.
     /// Reference path: the original clone-per-branch route.
-    fn relax_sampled(
-        &self,
-        w: &mut TrajWorker,
-        qubit: usize,
-        samples: u64,
-        rng: &mut impl Rng,
-    ) {
+    fn relax_sampled(&self, w: &mut TrajWorker, qubit: usize, samples: u64, rng: &mut impl Rng) {
         let p = self.device.qubit(qubit as u32);
         let t = samples as f64 * DT;
         let TrajWorker {
@@ -779,13 +766,10 @@ impl<'a> TrajectoryExecutor<'a> {
         read
     }
 
-    fn jittered(
-        &self,
-        w: &quant_pulse::Waveform,
-        rng: &mut impl Rng,
-    ) -> quant_pulse::Waveform {
+    fn jittered(&self, w: &quant_pulse::Waveform, rng: &mut impl Rng) -> quant_pulse::Waveform {
         let sigma = self.device.pulse_amp_jitter();
         let peak = w.peak();
+        // opclint: allow(float-literal-eq): exact short-circuit — noiseless devices report a literal 0.0 jitter sigma
         if sigma == 0.0 || peak < 1e-12 {
             return w.clone();
         }
@@ -795,6 +779,7 @@ impl<'a> TrajectoryExecutor<'a> {
 
     fn jitter_schedule(&self, schedule: &Schedule, rng: &mut impl Rng) -> Schedule {
         let sigma = self.device.pulse_amp_jitter();
+        // opclint: allow(float-literal-eq): exact short-circuit — noiseless devices report a literal 0.0 jitter sigma
         if sigma == 0.0 {
             return schedule.clone();
         }
@@ -909,7 +894,11 @@ fn relax_stage_fused(
     }
     let total: f64 = weights.iter().sum();
     let choice = quant_math::categorical(rng, weights);
-    let rel = if total > 0.0 { weights[choice] / total } else { 1.0 };
+    let rel = if total > 0.0 {
+        weights[choice] / total
+    } else {
+        1.0
+    };
     let scale = if rel > 1e-280 { 1.0 / rel.sqrt() } else { 1.0 };
     op_tmp.copy_from(&stage[choice]);
     op_tmp.scale_assign(C64::real(scale));

@@ -19,7 +19,7 @@
 //! every timescale in the problem.
 
 use crate::params::{TransmonParams, DT};
-use quant_math::{C64, CMat, PropagatorScratch};
+use quant_math::{CMat, PropagatorScratch, C64};
 use quant_pulse::{Channel, Instruction, Schedule};
 use std::f64::consts::TAU;
 
@@ -98,16 +98,13 @@ impl Transmon {
     /// The static Hamiltonian (rad/s) in the f01 rotating frame:
     /// `2π·α·|2⟩⟨2|`.
     fn h_static(&self) -> CMat {
-        CMat::diag(&[
-            C64::ZERO,
-            C64::ZERO,
-            C64::real(TAU * self.params.alpha),
-        ])
+        CMat::diag(&[C64::ZERO, C64::ZERO, C64::real(TAU * self.params.alpha)])
     }
 
     /// Applies any pending free evolution (|2⟩ anharmonic phase) in `state`
     /// to `u`.
     fn flush_static(u: &mut CMat, state: &mut DriveState) {
+        // opclint: allow(float-literal-eq): exact sentinel — static_phase is reset to a literal 0.0 after every flush
         if state.static_phase != 0.0 {
             let free = CMat::diag(&[C64::ONE, C64::ONE, C64::cis(-state.static_phase)]);
             *u = &free * &*u;
@@ -125,11 +122,7 @@ impl Transmon {
     /// Integrates one waveform under the current drive state, returning its
     /// 3×3 propagator (including any pending free evolution) and advancing
     /// the state.
-    pub fn integrate_play(
-        &self,
-        state: &mut DriveState,
-        waveform: &quant_pulse::Waveform,
-    ) -> CMat {
+    pub fn integrate_play(&self, state: &mut DriveState, waveform: &quant_pulse::Waveform) -> CMat {
         let omega = TAU * self.params.rabi_hz_per_amp;
         let mut u = CMat::identity(3);
         Self::flush_static(&mut u, state);

@@ -20,7 +20,7 @@
 //! exactly the paper's "damping the pulse shape of a standard iSWAP".
 
 use crate::params::{TransmonParams, DT};
-use quant_math::{unitary_exp, C64, CMat};
+use quant_math::{unitary_exp, CMat, C64};
 use quant_pulse::{Channel, GaussianSquare, Instruction, Schedule};
 use quant_sim::gates;
 use std::f64::consts::TAU;
@@ -107,6 +107,7 @@ impl XyPair {
         let mut u = CMat::identity(9);
         for &a_k in &amp {
             let mut h = h0.clone();
+            // opclint: allow(float-literal-eq): exact skip — zero-amplitude samples contribute exactly H0, so the coupling term is omitted
             if a_k != 0.0 {
                 // Negative coupling convention so a positive flux pulse yields
                 // iSWAP's +i phases (exp(+iθ(XX+YY)/4) at θ = π).
@@ -178,7 +179,11 @@ pub fn calibrate_xy(pair: &XyPair, coupler: Channel) -> XyCalibration {
     // population transfer (|01⟩→|10⟩). Solve, then refine once.
     let target = std::f64::consts::FRAC_PI_2;
     let mut area = target / rad_per_area;
-    let edge = GaussianSquare { width: 0, duration: 8 * sigma as u64, ..base };
+    let edge = GaussianSquare {
+        width: 0,
+        duration: 8 * sigma as u64,
+        ..base
+    };
     let edge_area = edge.waveform("e").area().re;
     let mk = |area: f64| -> GaussianSquare {
         let width = ((area - edge_area) / amp).max(0.0).round() as u64;

@@ -21,7 +21,7 @@
 //! X pulses, target Rx90, virtual-Z frames — evolves as one 4×4 propagator.
 
 use crate::params::{CrParams, TransmonParams, DT};
-use quant_math::{mul9_into, unitary_exp9_into, C64, CMat, PropagatorScratch};
+use quant_math::{mul9_into, unitary_exp9_into, CMat, PropagatorScratch, C64};
 use quant_pulse::{Channel, Instruction, Schedule};
 use quant_sim::gates;
 use std::collections::BTreeMap;
@@ -268,8 +268,7 @@ impl CrPair {
                 a
             };
             let hs9 = to9(&h_static);
-            let (zx9, zy9, ix9, iy9, zi9) =
-                (to9(&zx), to9(&zy), to9(&ix), to9(&iy), to9(&zi));
+            let (zx9, zy9, ix9, iy9, zi9) = (to9(&zx), to9(&zy), to9(&ix), to9(&iy), to9(&zi));
             let (xc9, yc9, xt9, yt9) = (to9(&xc3), to9(&yc3), to9(&xt3), to9(&yt3));
             let axpy = |y: &mut [C64; 81], x: &[C64; 81], s: f64| {
                 let k = C64::real(s);
@@ -572,7 +571,10 @@ mod tests {
             echoed < 0.05,
             "echoed CR residual = {echoed} (unechoed {unechoed})"
         );
-        assert!(echoed < unechoed * 0.5, "echo should beat no-echo: {echoed} vs {unechoed}");
+        assert!(
+            echoed < unechoed * 0.5,
+            "echo should beat no-echo: {echoed} vs {unechoed}"
+        );
     }
 
     /// Resonant π pulse on a drive channel.

@@ -2,8 +2,8 @@
 //! fast path: bit-identical results at any thread count, with or without
 //! the probe cache, and across a snapshot save/load round trip.
 
-use quant_device::calibration::{Calibration, CalibrationOptions};
 use quant_device::cache::ProbeCache;
+use quant_device::calibration::{Calibration, CalibrationOptions};
 use quant_device::executor::ShotPool;
 use quant_device::snapshot::{snapshot_key, CalStore};
 use quant_device::DeviceModel;
@@ -74,10 +74,11 @@ fn snapshot_round_trip_and_invalidation() {
     let key = snapshot_key(&device, &opts, 9);
     assert!(store.load(key, &device).is_none(), "store starts empty");
     let computed = run(&device, 9, &store, &pool);
-    let loaded = store
-        .load(key, &device)
-        .expect("calibration was persisted");
-    assert_eq!(computed, loaded, "round trip is bit-exact, cmd_def included");
+    let loaded = store.load(key, &device).expect("calibration was persisted");
+    assert_eq!(
+        computed, loaded,
+        "round trip is bit-exact, cmd_def included"
+    );
 
     // The warm path inside run_seeded_with returns the same thing.
     let warm = run(&device, 9, &store, &pool);
@@ -91,7 +92,9 @@ fn snapshot_round_trip_and_invalidation() {
     assert_ne!(key, snapshot_key(&device, &bigger, 9));
     let other = DeviceModel::almaden_like(3, &mut seeded(22));
     assert_ne!(key, snapshot_key(&other, &opts, 9));
-    assert!(store.load(snapshot_key(&device, &opts, 10), &device).is_none());
+    assert!(store
+        .load(snapshot_key(&device, &opts, 10), &device)
+        .is_none());
 
     // Execution-time drift redraws do NOT retire it: the daily tune-up
     // serves every drift age, as on hardware.

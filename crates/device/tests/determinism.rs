@@ -105,7 +105,10 @@ fn counts_identical_cache_on_and_off() {
     let (p_on, c_on) = run_with_cache(true);
     device.set_pulse_cache_enabled(true);
     assert!(
-        p_off.iter().zip(&p_on).all(|(a, b)| a.to_bits() == b.to_bits()),
+        p_off
+            .iter()
+            .zip(&p_on)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
         "cache changed the outcome distribution"
     );
     assert_eq!(c_off, c_on, "cache changed the sampled counts");
@@ -124,7 +127,10 @@ fn cache_hits_repeated_noiseless_runs_and_drift_invalidates() {
     device.pulse_cache().reset_stats();
     let first = exec.run(&program, &mut seeded(31));
     let after_first = device.pulse_cache().stats();
-    assert!(after_first.misses > 0, "first run should populate the cache");
+    assert!(
+        after_first.misses > 0,
+        "first run should populate the cache"
+    );
     assert_eq!(after_first.hits, 0);
     let second = exec.run(&program, &mut seeded(31));
     let after_second = device.pulse_cache().stats();
@@ -223,7 +229,10 @@ fn kernel_path_matches_reference_with_idles() {
         .with_reference_path()
         .run(&program, &mut seeded(61));
     for (a, b) in fast.probabilities.iter().zip(&slow.probabilities) {
-        assert!((a - b).abs() < 1e-12, "relax coalescing drifted: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-12,
+            "relax coalescing drifted: {a} vs {b}"
+        );
     }
     assert_eq!(
         fast.sample_counts_deterministic(0xC0DE, 10_000),

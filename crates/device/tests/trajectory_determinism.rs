@@ -157,7 +157,10 @@ fn uncoupled_pair_reported_as_error_not_panic() {
     let device = DeviceModel::almaden_like(3, &mut rng);
     let mut program = line_program(&device, 3);
     // Re-address the last CNOT to (0, 2) — not an edge of the line.
-    if let Some(Block::Gate2Q { control, target, .. }) = program.blocks.last_mut() {
+    if let Some(Block::Gate2Q {
+        control, target, ..
+    }) = program.blocks.last_mut()
+    {
         *control = 0;
         *target = 2;
     }

@@ -26,7 +26,11 @@ pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
         }
         let mut parts = line.split_whitespace();
         let (name, count) = (parts.next(), parts.next());
-        match (name, count.and_then(|c| c.parse::<usize>().ok()), parts.next()) {
+        match (
+            name,
+            count.and_then(|c| c.parse::<usize>().ok()),
+            parts.next(),
+        ) {
             (Some(name), Some(count), None) => {
                 counts.insert(name.to_string(), count);
             }

@@ -16,17 +16,22 @@
 //!
 //! Comments are not discarded: they come back in a side channel so the
 //! rule engine can parse `// opclint: allow(<rule>): <justification>`
-//! waiver directives and attach them to the right code line.
+//! waiver directives and attach them to the right code line. String
+//! literal *bodies* come back in a second side channel (never as code
+//! tokens) so dataflow rules like `env-read` can see which variable name
+//! a call reads.
 //!
-//! Everything else (numbers, all punctuation) is tokenized loosely — the
-//! rules never inspect numeric values, only adjacency.
+//! Numbers keep their spelling (so `float-literal-eq` can tell `1.0`
+//! from `1`); punctuation is tokenized one character at a time and the
+//! rules match on adjacency.
 
 /// What a token is.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TokKind {
     /// Identifier or keyword (including raw identifiers, without `r#`).
     Ident,
-    /// Numeric literal (value never inspected by rules).
+    /// Numeric literal; `text` carries the spelling so `float-literal-eq`
+    /// can tell floats from integers.
     Number,
     /// One punctuation character.
     Punct(char),
@@ -58,6 +63,16 @@ impl Token {
     }
 }
 
+/// One string literal, preserved for dataflow rules (`env-read` needs to
+/// see which variable name a `std::env::var` call reads).
+#[derive(Clone, Debug)]
+pub struct StrLit {
+    /// 1-based line the literal starts on.
+    pub line: u32,
+    /// Literal body, escapes left as written, without quotes/guards.
+    pub text: String,
+}
+
 /// One comment, preserved for waiver-directive parsing.
 #[derive(Clone, Debug)]
 pub struct Comment {
@@ -78,6 +93,8 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Comments in source order.
     pub comments: Vec<Comment>,
+    /// String-literal bodies in source order (plain, raw, byte, C).
+    pub strings: Vec<StrLit>,
 }
 
 /// Lexes `src`. Malformed input (unterminated literals) does not panic:
@@ -139,7 +156,7 @@ impl Scanner {
                 '/' if self.peek(1) == Some('*') => self.block_comment(),
                 '"' => {
                     self.bump();
-                    self.string_body(0);
+                    self.string_body(line);
                 }
                 '\'' => self.quote(),
                 c if c.is_ascii_digit() => self.number(),
@@ -166,7 +183,11 @@ impl Scanner {
             text.push(c);
             self.bump();
         }
-        self.out.comments.push(Comment { line, trailing, text });
+        self.out.comments.push(Comment {
+            line,
+            trailing,
+            text,
+        });
     }
 
     fn block_comment(&mut self) {
@@ -195,30 +216,39 @@ impl Scanner {
                 self.bump();
             }
         }
-        self.out.comments.push(Comment { line, trailing, text });
+        self.out.comments.push(Comment {
+            line,
+            trailing,
+            text,
+        });
     }
 
-    /// Body of a non-raw string, after the opening `"`. `hashes` is 0 for
-    /// ordinary strings; for raw strings the caller uses
-    /// [`Scanner::raw_string_body`] instead.
-    fn string_body(&mut self, _start: usize) {
+    /// Body of a non-raw string, after the opening `"`; records the body
+    /// in the string side channel. `line` is the opening quote's line.
+    fn string_body(&mut self, line: u32) {
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
                     // Any escape: consume the next char blindly (covers
                     // \" \\ \n \u{…} well enough — braces are plain
                     // chars and cannot contain an unescaped quote).
-                    self.bump();
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
                 }
-                '"' => return,
-                _ => {}
+                '"' => break,
+                _ => text.push(c),
             }
         }
+        self.out.strings.push(StrLit { line, text });
     }
 
     /// Body of a raw string, after `r#…#"`: ends at `"` followed by
-    /// `hashes` `#` characters.
-    fn raw_string_body(&mut self, hashes: usize) {
+    /// `hashes` `#` characters. Records the body like [`Self::string_body`].
+    fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             if c == '"' {
                 let mut ok = true;
@@ -232,10 +262,13 @@ impl Scanner {
                     for _ in 0..hashes {
                         self.bump();
                     }
+                    self.out.strings.push(StrLit { line, text });
                     return;
                 }
             }
+            text.push(c);
         }
+        self.out.strings.push(StrLit { line, text });
     }
 
     /// A `'`: lifetime or char literal. A lifetime is `'` followed by an
@@ -275,22 +308,20 @@ impl Scanner {
 
     fn number(&mut self) {
         let line = self.line;
+        let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c == '_' || c.is_ascii_alphanumeric() {
+                text.push(c);
                 self.bump();
-            } else if c == '.'
-                && self
-                    .peek(1)
-                    .map(|d| d.is_ascii_digit())
-                    .unwrap_or(false)
-            {
+            } else if c == '.' && self.peek(1).map(|d| d.is_ascii_digit()).unwrap_or(false) {
                 // Float like `1.25`; `0..n` and `1.0.to_bits()` stop here.
+                text.push(c);
                 self.bump();
             } else {
                 break;
             }
         }
-        self.push(TokKind::Number, String::new(), line);
+        self.push(TokKind::Number, text, line);
     }
 
     /// An identifier — unless it turns out to be the prefix of a (raw)
@@ -313,9 +344,9 @@ impl Scanner {
             Some('"') if plain_string_prefix => {
                 self.bump();
                 if raw_capable {
-                    self.raw_string_body(0);
+                    self.raw_string_body(0, line);
                 } else {
-                    self.string_body(0);
+                    self.string_body(line);
                 }
             }
             Some('#') if raw_capable => {
@@ -327,7 +358,7 @@ impl Scanner {
                     for _ in 0..=hashes {
                         self.bump();
                     }
-                    self.raw_string_body(hashes);
+                    self.raw_string_body(hashes, line);
                 } else if name == "r" {
                     // Raw identifier `r#type`: skip the `#`, lex the
                     // identifier proper.

@@ -20,27 +20,44 @@
 //! * `panic-budget` — `unwrap()` / `expect()` / `panic!` are counted per
 //!   library crate and ratcheted against `lint-baseline.txt` (the count
 //!   may only shrink). Not waivable: the budget *is* the waiver.
+//! * `env-read` — `std::env::var("OPC_*")` reads must live in a
+//!   designated `knobs` module (one file per crate) so the determinism
+//!   surface — every environment knob that can change behaviour — stays
+//!   auditable in one place.
+//! * `float-literal-eq` — `==`/`!=` against a float literal: exact float
+//!   equality is brittle under recompilation/optimization; compare via
+//!   `total_cmp`, an epsilon, or `to_bits`. Exact-sentinel comparisons
+//!   (e.g. "skip the frame change when the accumulated phase is exactly
+//!   the 0.0 it was initialized to") are legitimate and take a waiver.
 //!
 //! Waivers: `// opclint: allow(<rule>): <justification>` on the offending
 //! line, or on its own line directly above. The justification is
 //! mandatory; an allow without one (or for an unknown/unwaivable rule) is
 //! itself a finding (`allow-syntax`).
 
-use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::lexer::{lex, Comment, StrLit, TokKind, Token};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Rule identifiers, in the order they are documented.
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 6] = [
     "unordered-iter",
     "nondeterminism",
     "float-cmp-unwrap",
     "panic-budget",
+    "env-read",
+    "float-literal-eq",
 ];
 
 /// Rules a waiver may silence (`panic-budget` is a counted ratchet, not a
 /// per-site check).
-const WAIVABLE: [&str; 3] = ["unordered-iter", "nondeterminism", "float-cmp-unwrap"];
+const WAIVABLE: [&str; 5] = [
+    "unordered-iter",
+    "nondeterminism",
+    "float-cmp-unwrap",
+    "env-read",
+    "float-literal-eq",
+];
 
 /// Iteration-shaped methods on unordered collections.
 const ITER_METHODS: [&str; 9] = [
@@ -119,9 +136,7 @@ pub fn lint_file(path: &str, src: &str, ctx: &FileCtx) -> FileReport {
     let test_lines = test_line_ranges(&lexed.tokens);
     let in_test = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
     let allows = parse_allows(path, &lexed.tokens, &lexed.comments, &mut report.findings);
-    let waived = |rule: &str, line: u32| {
-        allows.iter().any(|a| a.rule == rule && a.target == line)
-    };
+    let waived = |rule: &str, line: u32| allows.iter().any(|a| a.rule == rule && a.target == line);
 
     let toks = &lexed.tokens;
     rule_unordered_iter(path, toks, &in_test, &waived, &mut report.findings);
@@ -129,6 +144,15 @@ pub fn lint_file(path: &str, src: &str, ctx: &FileCtx) -> FileReport {
         rule_nondeterminism(path, toks, &in_test, &waived, &mut report.findings);
     }
     rule_float_cmp_unwrap(path, toks, &in_test, &waived, &mut report.findings);
+    rule_env_read(
+        path,
+        toks,
+        &lexed.strings,
+        &in_test,
+        &waived,
+        &mut report.findings,
+    );
+    rule_float_literal_eq(path, toks, &in_test, &waived, &mut report.findings);
     report.panic_count = count_panic_sites(toks, &in_test);
     report
 }
@@ -234,8 +258,7 @@ fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
             // `cfg(test)` and friends — but not `cfg(not(test))`, which
             // marks code that is *absent* from test builds.
             Some(t) if t.is_ident("cfg") => {
-                attr.iter().any(|t| t.is_ident("test"))
-                    && !attr.iter().any(|t| t.is_ident("not"))
+                attr.iter().any(|t| t.is_ident("test")) && !attr.iter().any(|t| t.is_ident("not"))
             }
             Some(t) if t.is_ident("test") && attr.len() == 1 => true,
             _ => false,
@@ -503,6 +526,129 @@ fn rule_float_cmp_unwrap(
     }
 }
 
+/// Rule 5: environment knobs outside the designated config module.
+///
+/// Matches `env :: var(…)` / `env :: var_os(…)` whose first string
+/// argument starts with `OPC_`. Files named `knobs.rs` are the designated
+/// per-crate home for these reads and are exempt.
+fn rule_env_read(
+    path: &str,
+    tokens: &[Token],
+    strings: &[StrLit],
+    in_test: &dyn Fn(u32) -> bool,
+    waived: &dyn Fn(&str, u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let stem = path
+        .rsplit(['/', '\\'])
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".rs");
+    if stem == "knobs" {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("env") {
+            continue;
+        }
+        let is_var_call = tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|b| b.is_punct(':'))
+            && tokens
+                .get(i + 3)
+                .is_some_and(|m| m.is_ident("var") || m.is_ident("var_os"))
+            && tokens.get(i + 4).is_some_and(|p| p.is_punct('('));
+        if !is_var_call {
+            continue;
+        }
+        // The argument string starts on the call's line or the next one
+        // (rustfmt may wrap); the first literal at or after the call is it.
+        let name = strings
+            .iter()
+            .find(|s| s.line >= t.line && s.line <= t.line + 1)
+            .map(|s| s.text.as_str());
+        let Some(name) = name.filter(|n| n.starts_with("OPC_")) else {
+            continue;
+        };
+        if in_test(t.line) || waived("env-read", t.line) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "env-read",
+            file: path.to_string(),
+            line: t.line,
+            message: format!(
+                "`env::var(\"{name}\")` outside a `knobs` module: move the read into the \
+                 crate's `knobs.rs` (the audited determinism surface) or waive with \
+                 `// opclint: allow(env-read): <why this read cannot live there>`"
+            ),
+        });
+    }
+}
+
+/// True when a numeric literal's spelling is a float (`1.0`, `2.5e3`,
+/// `1f64`), not an integer or a non-decimal literal.
+fn is_float_literal(text: &str) -> bool {
+    if text.is_empty()
+        || text.starts_with("0x")
+        || text.starts_with("0X")
+        || text.starts_with("0o")
+        || text.starts_with("0b")
+    {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        // The lexer splits `1e-3` at the sign, leaving a trailing `e`.
+        || text.ends_with('e')
+        || text.ends_with('E')
+}
+
+/// Rule 6: exact equality against a float literal.
+fn rule_float_literal_eq(
+    path: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    waived: &dyn Fn(&str, u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for i in 0..tokens.len() {
+        // `==` is Punct('=') Punct('='); `!=` is Punct('!') Punct('=').
+        // Compound operators (`<=`, `>>=`, `..=`, `=>`) never produce
+        // either adjacency, so no look-behind is needed.
+        let second_eq = tokens.get(i + 1).is_some_and(|t| t.is_punct('='));
+        let op = if tokens[i].is_punct('=') && second_eq {
+            "=="
+        } else if tokens[i].is_punct('!') && second_eq {
+            "!="
+        } else {
+            continue;
+        };
+        let float_operand = |t: Option<&Token>| {
+            t.is_some_and(|t| t.kind == TokKind::Number && is_float_literal(&t.text))
+        };
+        let lhs = i.checked_sub(1).and_then(|j| tokens.get(j));
+        let rhs = tokens.get(i + 2);
+        if !(float_operand(lhs) || float_operand(rhs)) {
+            continue;
+        }
+        let line = tokens[i].line;
+        if in_test(line) || waived("float-literal-eq", line) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "float-literal-eq",
+            file: path.to_string(),
+            line,
+            message: format!(
+                "`{op}` against a float literal: exact float equality is brittle — compare \
+                 via `total_cmp`/`to_bits` or an epsilon, or waive an exact-sentinel check \
+                 with `// opclint: allow(float-literal-eq): <why exactness is intended>`"
+            ),
+        });
+    }
+}
+
 /// `unwrap(` / `expect(` / `panic!` sites outside test scope.
 fn count_panic_sites(tokens: &[Token], in_test: &dyn Fn(u32) -> bool) -> usize {
     let mut count = 0;
@@ -512,8 +658,7 @@ fn count_panic_sites(tokens: &[Token], in_test: &dyn Fn(u32) -> bool) -> usize {
         }
         let call = tokens.get(i + 1).is_some_and(|p| p.is_punct('('));
         if ((t.is_ident("unwrap") || t.is_ident("expect")) && call)
-            || (t.is_ident("panic")
-                && tokens.get(i + 1).is_some_and(|p| p.is_punct('!')))
+            || (t.is_ident("panic") && tokens.get(i + 1).is_some_and(|p| p.is_punct('!')))
         {
             count += 1;
         }

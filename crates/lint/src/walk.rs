@@ -86,9 +86,8 @@ pub fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
     }
     members.sort();
     for member in members {
-        let name = package_name(&member.join("Cargo.toml")).ok_or_else(|| {
-            format!("no package name in {}", member.join("Cargo.toml").display())
-        })?;
+        let name = package_name(&member.join("Cargo.toml"))
+            .ok_or_else(|| format!("no package name in {}", member.join("Cargo.toml").display()))?;
         let ctx = FileCtx {
             entropy_exempt: ENTROPY_EXEMPT_CRATES.contains(&name.as_str()),
             crate_name: name,

@@ -23,6 +23,8 @@ fn check_fails_on_each_bad_fixture_naming_rule_and_location() {
         ("bad_nondeterminism.rs", "nondeterminism", 5),
         ("bad_float_cmp.rs", "float-cmp-unwrap", 7),
         ("bad_allow.rs", "allow-syntax", 8),
+        ("bad_env_read.rs", "env-read", 5),
+        ("bad_float_literal_eq.rs", "float-literal-eq", 5),
     ] {
         let (ok, stdout) = run_check(&[fixture]);
         assert!(!ok, "{fixture} should fail --check:\n{stdout}");
@@ -47,15 +49,55 @@ fn check_passes_on_waived_and_literal_fixtures() {
 }
 
 #[test]
-fn list_rules_names_all_four() {
+fn list_rules_names_every_rule() {
     let out = Command::new(env!("CARGO_BIN_EXE_opclint"))
         .arg("--list-rules")
         .output()
         .expect("spawn opclint");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for rule in ["unordered-iter", "nondeterminism", "float-cmp-unwrap", "panic-budget"] {
+    for rule in [
+        "unordered-iter",
+        "nondeterminism",
+        "float-cmp-unwrap",
+        "panic-budget",
+        "env-read",
+        "float-literal-eq",
+    ] {
         assert!(stdout.contains(rule), "missing {rule} in: {stdout}");
     }
+}
+
+#[test]
+fn json_mode_emits_machine_readable_findings() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let out = Command::new(env!("CARGO_BIN_EXE_opclint"))
+        .arg("--check")
+        .arg("--json")
+        .arg(dir.join("bad_float_literal_eq.rs"))
+        .output()
+        .expect("spawn opclint");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One object, no human-format lines.
+    assert!(
+        stdout.trim().starts_with('{') && stdout.trim().ends_with('}'),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("error["), "{stdout}");
+    assert!(stdout.contains(r#""rule":"float-literal-eq""#), "{stdout}");
+    assert!(stdout.contains(r#""line":5"#), "{stdout}");
+    assert!(stdout.contains(r#""files":1"#), "{stdout}");
+
+    // Clean input: empty findings array, still one object, exit 0.
+    let out = Command::new(env!("CARGO_BIN_EXE_opclint"))
+        .arg("--check")
+        .arg("--json")
+        .arg(dir.join("allowed_ok.rs"))
+        .output()
+        .expect("spawn opclint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(r#""findings":[]"#), "{stdout}");
 }
 
 #[test]

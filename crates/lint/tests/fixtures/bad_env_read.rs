@@ -1,0 +1,38 @@
+//! Fixture: `OPC_*` environment reads outside a `knobs` module.
+
+/// Flagged: direct read of an OPC_* knob in library code.
+pub fn fusion_enabled() -> bool {
+    std::env::var("OPC_FUSION").ok().as_deref() != Some("0")
+}
+
+/// Flagged: `var_os` counts too.
+pub fn cache_dir() -> Option<std::ffi::OsString> {
+    std::env::var_os("OPC_CAL_CACHE")
+}
+
+/// Flagged: rustfmt-wrapped argument on the line after the call.
+pub fn threads() -> Option<String> {
+    std::env::var(
+        "OPC_THREADS",
+    )
+    .ok()
+}
+
+/// Not flagged: not an OPC_* knob (CARGO_/CI variables are not ours).
+pub fn target_dir() -> Option<String> {
+    std::env::var("CARGO_TARGET_DIR").ok()
+}
+
+/// Not flagged: waived with a justification.
+pub fn verify_enabled() -> bool {
+    // opclint: allow(env-read): startup-only read, documented alongside the flag it mirrors
+    std::env::var("OPC_VERIFY").ok().as_deref() != Some("0")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reads_in_tests_are_exempt() {
+        let _ = std::env::var("OPC_FUSION");
+    }
+}

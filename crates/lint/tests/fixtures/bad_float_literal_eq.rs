@@ -1,0 +1,46 @@
+//! Fixture: exact equality against float literals.
+
+/// Flagged: `==` with the literal on the right.
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+/// Flagged: `!=` with the literal on the left.
+pub fn nonzero(y: f64) -> bool {
+    0.0 != y
+}
+
+/// Flagged: suffixed literal without a dot.
+pub fn is_two(x: f64) -> bool {
+    x == 2f64
+}
+
+/// Flagged: scientific notation (the lexer splits `1e-3` at the sign).
+pub fn is_milli(x: f64) -> bool {
+    x == 1e-3
+}
+
+/// Not flagged: integer equality is exact by construction.
+pub fn is_five(n: u32) -> bool {
+    n == 5
+}
+
+/// Not flagged: ordering comparisons and inclusive ranges — `<=`, `>=`
+/// and `..=` never form the `==`/`!=` token adjacency.
+pub fn clamped(x: f64) -> bool {
+    (0.0..=1.0).contains(&x) && x <= 1.0 && x >= 0.0
+}
+
+/// Not flagged: waived exact-sentinel check.
+pub fn skip_zero(sigma: f64) -> bool {
+    // opclint: allow(float-literal-eq): exact sentinel — 0.0 is the initialized value
+    sigma == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_equality_is_fine_in_tests() {
+        assert!(super::is_unit(1.0) || 0.5 == 0.5);
+    }
+}

@@ -56,7 +56,10 @@ fn raw_strings_with_guards_are_skipped() {
 #[test]
 fn byte_and_c_strings_are_skipped() {
     assert_eq!(idents(r#"let b = b"unwrap()"; x"#), vec!["let", "b", "x"]);
-    assert_eq!(idents(r##"let r = br#"expect()"#; y"##), vec!["let", "r", "y"]);
+    assert_eq!(
+        idents(r##"let r = br#"expect()"#; y"##),
+        vec!["let", "r", "y"]
+    );
 }
 
 #[test]
@@ -107,7 +110,10 @@ fn quote_char_literal_does_not_open_a_string() {
 
 #[test]
 fn raw_identifiers_lex_as_identifiers() {
-    assert_eq!(idents("let r#type = 1; r#type"), vec!["let", "type", "type"]);
+    assert_eq!(
+        idents("let r#type = 1; r#type"),
+        vec!["let", "type", "type"]
+    );
 }
 
 #[test]

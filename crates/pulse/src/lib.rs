@@ -12,6 +12,8 @@
 //! * [`Schedule`] / [`Instruction`] / [`Channel`] — timed instruction
 //!   containers with per-channel alignment semantics.
 //! * [`CmdDef`] — the backend-reported gate → schedule calibration library.
+//! * [`verify`] — the static schedule verifier: timing, physical-bound,
+//!   topology, and measurement-discipline checks as typed findings.
 //!
 //! # Example
 //!
@@ -41,8 +43,10 @@
 
 mod library;
 mod schedule;
+pub mod verify;
 mod waveform;
 
 pub use library::{CmdDef, CmdKey};
 pub use schedule::{Channel, Instruction, Schedule, TimedInstruction};
+pub use verify::{verify, ScheduleFinding, VerifySpec, RULES as VERIFY_RULES};
 pub use waveform::{Constant, Drag, Gaussian, GaussianSquare, Waveform};

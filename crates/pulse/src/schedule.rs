@@ -159,10 +159,9 @@ impl Schedule {
     /// Inserts an instruction at an absolute time (after any instructions
     /// already at that time).
     pub fn insert(&mut self, start: u64, instruction: Instruction) {
-        let pos = self
-            .instructions
-            .partition_point(|ti| ti.start <= start);
-        self.instructions.insert(pos, TimedInstruction { start, instruction });
+        let pos = self.instructions.partition_point(|ti| ti.start <= start);
+        self.instructions
+            .insert(pos, TimedInstruction { start, instruction });
     }
 
     /// Inserts an instruction at time 0, *before* everything else —
@@ -193,7 +192,10 @@ impl Schedule {
             .map(|&c| self.channel_duration(c))
             .max()
             .unwrap_or(0);
-        self.insert(t.max(self.channel_duration(instruction.channel())), instruction);
+        self.insert(
+            t.max(self.channel_duration(instruction.channel())),
+            instruction,
+        );
     }
 
     /// Appends an entire schedule, shifted so it begins after every channel
@@ -307,10 +309,8 @@ impl Schedule {
     /// regenerate the paper's pulse-schedule figures graphically.
     pub fn to_csv(&self) -> String {
         let channels = self.channels();
-        let rasters: Vec<Vec<quant_math::C64>> = channels
-            .iter()
-            .map(|&ch| self.rasterize(ch))
-            .collect();
+        let rasters: Vec<Vec<quant_math::C64>> =
+            channels.iter().map(|&ch| self.rasterize(ch)).collect();
         let mut out = String::from("t_dt");
         for ch in &channels {
             out.push_str(&format!(",{ch}_re,{ch}_im"));

@@ -1,0 +1,691 @@
+//! Static schedule verification — the pulse-level analogue of an ISA's
+//! legality checker.
+//!
+//! Compiling below the gate abstraction removes the safety net a gate-level
+//! ISA provides: nothing in the type system stops a [`Schedule`] from
+//! playing two envelopes at once on one channel, driving a qubit after its
+//! measurement window has opened, or addressing a control channel that maps
+//! to no coupled pair. [`verify`] checks all of that *statically* — a pure
+//! pass over the timed instruction list plus a small device envelope
+//! ([`VerifySpec`]) — and reports problems as typed [`ScheduleFinding`]s,
+//! never a panic.
+//!
+//! The rule set (stable ids, pinned by [`RULES`]):
+//!
+//! | rule | meaning |
+//! |---|---|
+//! | `overlap` | two non-zero-duration windows intersect on one channel |
+//! | `zero-duration` | a `Play`/`Delay`/`Acquire` spans zero samples |
+//! | `misaligned-start` | a start time is not a multiple of `align_dt` |
+//! | `over-amplitude` | an envelope's peak exceeds `max_amp` |
+//! | `freq-out-of-band` | `SetFrequency` outside the device band |
+//! | `freq-shift-excessive` | `ShiftFrequency` beyond `max_freq_shift` |
+//! | `uncoupled-control` | `Control(k)` resolves to no coupled pair |
+//! | `unknown-channel` | channel qubit index outside the device |
+//! | `frame-on-acquire` | frame/frequency change on an acquire channel |
+//! | `orphan-acquire` | `Acquire` with no overlapping measure stimulus |
+//! | `post-measure-drive` | drive pulse after the measurement window opens |
+//!
+//! Negative durations are unrepresentable by construction (`u64` sample
+//! counts), so the `zero-duration` rule covers the entire "non-positive
+//! length" class.
+//!
+//! # Example
+//!
+//! ```
+//! use quant_pulse::{verify, Channel, Constant, Instruction, Schedule, VerifySpec};
+//!
+//! let spec = VerifySpec::new(1, vec![]);
+//! let mut schedule = Schedule::new("clash");
+//! let pulse = Constant { duration: 160, amp: 0.1 }.waveform("p");
+//! schedule.insert(0, Instruction::Play { waveform: pulse.clone(), channel: Channel::Drive(0) });
+//! schedule.insert(80, Instruction::Play { waveform: pulse, channel: Channel::Drive(0) });
+//!
+//! let findings = verify(&schedule, &spec);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "overlap");
+//! ```
+
+use crate::schedule::{Channel, Instruction, Schedule};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stable identifiers of every verifier rule, in documentation order.
+pub const RULES: [&str; 11] = [
+    "overlap",
+    "zero-duration",
+    "misaligned-start",
+    "over-amplitude",
+    "freq-out-of-band",
+    "freq-shift-excessive",
+    "uncoupled-control",
+    "unknown-channel",
+    "frame-on-acquire",
+    "orphan-acquire",
+    "post-measure-drive",
+];
+
+/// Absolute tolerance for amplitude bounds, matching the slack
+/// [`crate::Waveform::new`] grants numerically-1.0 envelopes.
+const AMP_EPS: f64 = 1e-9;
+
+/// The device envelope a schedule is checked against.
+///
+/// This is a deliberately small value type (no device-crate dependency) so
+/// the verifier can run anywhere a [`Schedule`] exists; backends construct
+/// it from their physical model (`DeviceModel::verify_spec()`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifySpec {
+    /// Number of qubits; `Drive/Measure/Acquire(q)` require `q` below this.
+    pub num_qubits: u32,
+    /// Coupled `(control, target)` pairs; `Control(k)` must index into
+    /// this list and both endpoints must be valid qubits.
+    pub control_pairs: Vec<(u32, u32)>,
+    /// Maximum envelope peak amplitude (hardware full scale is 1.0).
+    pub max_amp: f64,
+    /// Allowed absolute local-oscillator band `(lo, hi)` in Hz for
+    /// `SetFrequency`.
+    pub freq_band: (f64, f64),
+    /// Maximum `|delta|` in Hz for a single `ShiftFrequency`.
+    pub max_freq_shift: f64,
+    /// Start-time granularity: every start must be a multiple of this.
+    pub align_dt: u64,
+}
+
+impl VerifySpec {
+    /// A permissive spec: full-scale amplitude, unbounded frequency band,
+    /// sample-granular alignment. Tighten fields as the device requires.
+    pub fn new(num_qubits: u32, control_pairs: Vec<(u32, u32)>) -> Self {
+        VerifySpec {
+            num_qubits,
+            control_pairs,
+            max_amp: 1.0,
+            freq_band: (0.0, f64::INFINITY),
+            max_freq_shift: f64::INFINITY,
+            align_dt: 1,
+        }
+    }
+}
+
+/// One verifier finding: a rule violation pinned to a channel and a
+/// half-open `dt` window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleFinding {
+    /// Stable rule id from [`RULES`].
+    pub rule: &'static str,
+    /// The offending channel.
+    pub channel: Channel,
+    /// Window start in `dt` samples.
+    pub start: u64,
+    /// Window end in `dt` samples (half-open; equals `start` for
+    /// zero-duration instructions).
+    pub end: u64,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ScheduleFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} @ [{}, {}): {}",
+            self.rule, self.channel, self.start, self.end, self.message
+        )
+    }
+}
+
+/// The qubit index a channel addresses (`Control` channels address none).
+fn channel_qubit(channel: Channel) -> Option<u32> {
+    match channel {
+        Channel::Drive(q) | Channel::Measure(q) | Channel::Acquire(q) => Some(q),
+        Channel::Control(_) => None,
+    }
+}
+
+/// Statically verifies `schedule` against `spec`.
+///
+/// Returns every violation as a typed finding, sorted by
+/// `(channel, start, rule)` so output is deterministic regardless of rule
+/// evaluation order. An empty vector means the schedule is clean. This
+/// function never panics and performs no I/O.
+pub fn verify(schedule: &Schedule, spec: &VerifySpec) -> Vec<ScheduleFinding> {
+    let mut findings = Vec::new();
+    // Per-channel end of the latest non-zero-duration window seen so far,
+    // with the window it came from (instructions are sorted by start).
+    let mut busy: BTreeMap<Channel, (u64, u64)> = BTreeMap::new();
+    // Per-qubit earliest opening of a measurement window (measure stimulus
+    // or acquisition), for the measurement-discipline rules.
+    let mut measure_open: BTreeMap<u32, u64> = BTreeMap::new();
+    // Measure-stimulus windows per qubit, to pair acquires against.
+    let mut stimulus: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+
+    for ti in schedule.instructions() {
+        let channel = ti.instruction.channel();
+        let dur = ti.instruction.duration();
+        let (start, end) = (ti.start, ti.start.saturating_add(dur));
+        match channel {
+            Channel::Measure(q) if dur > 0 => {
+                let open = measure_open.entry(q).or_insert(start);
+                *open = (*open).min(start);
+                if let Instruction::Play { .. } = ti.instruction {
+                    stimulus.entry(q).or_default().push((start, end));
+                }
+            }
+            Channel::Acquire(_) => {
+                if let Instruction::Acquire { qubit, .. } = &ti.instruction {
+                    let open = measure_open.entry(*qubit).or_insert(start);
+                    *open = (*open).min(start);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for ti in schedule.instructions() {
+        let channel = ti.instruction.channel();
+        let dur = ti.instruction.duration();
+        let (start, end) = (ti.start, ti.start.saturating_add(dur));
+        let window = |rule: &'static str, message: String| ScheduleFinding {
+            rule,
+            channel,
+            start,
+            end,
+            message,
+        };
+
+        // (3) Topology: every channel must exist on the device.
+        match channel {
+            Channel::Control(k) => {
+                let pair = spec.control_pairs.get(k as usize);
+                let valid = pair
+                    .is_some_and(|&(c, t)| c < spec.num_qubits && t < spec.num_qubits && c != t);
+                if !valid {
+                    findings.push(window(
+                        "uncoupled-control",
+                        match pair {
+                            Some(&(c, t)) => {
+                                format!("control channel u{k} maps to invalid pair ({c}, {t})")
+                            }
+                            None => format!(
+                                "control channel u{k} has no coupled pair (device has {})",
+                                spec.control_pairs.len()
+                            ),
+                        },
+                    ));
+                }
+            }
+            _ => {
+                if let Some(q) = channel_qubit(channel) {
+                    if q >= spec.num_qubits {
+                        findings.push(window(
+                            "unknown-channel",
+                            format!(
+                                "channel {channel} addresses qubit {q} on a {}-qubit device",
+                                spec.num_qubits
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // (1) Timing: alignment, duration, and per-channel exclusivity.
+        if spec.align_dt > 1 && start % spec.align_dt != 0 {
+            findings.push(window(
+                "misaligned-start",
+                format!(
+                    "start {start} is not a multiple of align_dt {}",
+                    spec.align_dt
+                ),
+            ));
+        }
+        let has_extent = matches!(
+            ti.instruction,
+            Instruction::Play { .. } | Instruction::Delay { .. } | Instruction::Acquire { .. }
+        );
+        if has_extent && dur == 0 {
+            findings.push(window(
+                "zero-duration",
+                "instruction spans zero samples (negative lengths are unrepresentable)".to_string(),
+            ));
+        }
+        if dur > 0 {
+            if let Some(&(busy_start, busy_end)) = busy.get(&channel) {
+                if start < busy_end {
+                    findings.push(window(
+                        "overlap",
+                        format!(
+                            "window [{start}, {end}) overlaps [{busy_start}, {busy_end}) on {channel}"
+                        ),
+                    ));
+                }
+            }
+            let entry = busy.entry(channel).or_insert((start, end));
+            if end > entry.1 {
+                *entry = (start, end);
+            }
+        }
+
+        // (2) Physical bounds and per-instruction rules.
+        match &ti.instruction {
+            Instruction::Play { waveform, .. } => {
+                let peak = waveform.peak();
+                if peak > spec.max_amp + AMP_EPS {
+                    findings.push(window(
+                        "over-amplitude",
+                        format!(
+                            "envelope '{}' peaks at {peak:.6} (limit {:.6})",
+                            waveform.name(),
+                            spec.max_amp
+                        ),
+                    ));
+                }
+                // (4) Measurement discipline: no drive after measurement.
+                if let Channel::Drive(q) = channel {
+                    if let Some(&open) = measure_open.get(&q) {
+                        if start >= open {
+                            findings.push(window(
+                                "post-measure-drive",
+                                format!(
+                                    "drive pulse at {start} after qubit {q}'s measurement \
+                                     window opened at {open}"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            Instruction::SetFrequency { frequency, .. } => {
+                let (lo, hi) = spec.freq_band;
+                if !(*frequency >= lo && *frequency <= hi) {
+                    findings.push(window(
+                        "freq-out-of-band",
+                        format!("frequency {frequency:.3e} Hz outside band [{lo:.3e}, {hi:.3e}]"),
+                    ));
+                }
+            }
+            // A NaN shift is as out-of-spec as an oversized one.
+            Instruction::ShiftFrequency { delta, .. }
+                if delta.abs() > spec.max_freq_shift || delta.is_nan() =>
+            {
+                findings.push(window(
+                    "freq-shift-excessive",
+                    format!(
+                        "frequency shift {delta:.3e} Hz exceeds limit {:.3e} Hz",
+                        spec.max_freq_shift
+                    ),
+                ));
+            }
+            Instruction::Acquire { qubit, .. } => {
+                let paired = stimulus
+                    .get(qubit)
+                    .is_some_and(|ws| ws.iter().any(|&(s, e)| s < end && start < e));
+                if !paired {
+                    findings.push(window(
+                        "orphan-acquire",
+                        format!("acquire of qubit {qubit} has no overlapping measure stimulus"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+
+        // Frame/frequency changes make no sense on an acquisition channel;
+        // Schedule accepts them structurally, so the verifier flags them.
+        if matches!(channel, Channel::Acquire(_))
+            && matches!(
+                ti.instruction,
+                Instruction::ShiftPhase { .. }
+                    | Instruction::SetFrequency { .. }
+                    | Instruction::ShiftFrequency { .. }
+            )
+        {
+            findings.push(window(
+                "frame-on-acquire",
+                format!("frame/frequency change on acquisition channel {channel}"),
+            ));
+        }
+    }
+
+    findings.sort_by(|a, b| (a.channel, a.start, a.rule).cmp(&(b.channel, b.start, b.rule)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::{Constant, Gaussian};
+
+    fn spec2() -> VerifySpec {
+        VerifySpec::new(2, vec![(0, 1), (1, 0)])
+    }
+
+    fn play(amp: f64, duration: u64, channel: Channel) -> Instruction {
+        Instruction::Play {
+            waveform: Constant { duration, amp }.waveform("p"),
+            channel,
+        }
+    }
+
+    fn only(findings: &[ScheduleFinding], rule: &str) -> ScheduleFinding {
+        assert_eq!(
+            findings.len(),
+            1,
+            "expected exactly one [{rule}] finding: {findings:?}"
+        );
+        assert_eq!(findings[0].rule, rule, "{findings:?}");
+        findings[0].clone()
+    }
+
+    #[test]
+    fn clean_two_qubit_schedule_verifies_clean() {
+        let mut s = Schedule::new("clean");
+        s.append(play(0.3, 160, Channel::Drive(0)));
+        s.append(Instruction::ShiftPhase {
+            phase: 1.2,
+            channel: Channel::Drive(0),
+        });
+        s.append(play(0.3, 160, Channel::Drive(0)));
+        s.append(play(0.2, 320, Channel::Control(0)));
+        s.append(play(0.3, 160, Channel::Drive(1)));
+        s.append(Instruction::Delay {
+            duration: 64,
+            channel: Channel::Drive(1),
+        });
+        assert!(verify(&s, &spec2()).is_empty());
+    }
+
+    #[test]
+    fn overlapping_windows_on_one_channel_are_flagged() {
+        let mut s = Schedule::new("overlap");
+        s.insert(0, play(0.1, 160, Channel::Drive(0)));
+        s.insert(100, play(0.1, 160, Channel::Drive(0)));
+        let f = only(&verify(&s, &spec2()), "overlap");
+        assert_eq!((f.channel, f.start, f.end), (Channel::Drive(0), 100, 260));
+    }
+
+    #[test]
+    fn same_windows_on_different_channels_do_not_overlap() {
+        let mut s = Schedule::new("parallel");
+        s.insert(0, play(0.1, 160, Channel::Drive(0)));
+        s.insert(0, play(0.1, 160, Channel::Drive(1)));
+        s.insert(0, play(0.1, 160, Channel::Control(0)));
+        assert!(verify(&s, &spec2()).is_empty());
+    }
+
+    #[test]
+    fn overlap_is_caught_against_the_longest_prior_window() {
+        // A long window followed by a short contained one, then a third
+        // that clears the short one but not the long one.
+        let mut s = Schedule::new("nested");
+        s.insert(0, play(0.1, 400, Channel::Drive(0)));
+        s.insert(100, play(0.1, 50, Channel::Drive(0)));
+        s.insert(200, play(0.1, 50, Channel::Drive(0)));
+        let findings = verify(&s, &spec2());
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "overlap"));
+        assert_eq!(findings[1].start, 200);
+    }
+
+    #[test]
+    fn over_amplitude_pins_the_peak_and_window() {
+        let mut spec = spec2();
+        spec.max_amp = 0.5;
+        let mut s = Schedule::new("hot");
+        s.insert(32, play(0.8, 160, Channel::Drive(0)));
+        let f = only(&verify(&s, &spec), "over-amplitude");
+        assert_eq!((f.start, f.end), (32, 192));
+        assert!(f.message.contains("0.8"), "{}", f.message);
+    }
+
+    #[test]
+    fn full_scale_gaussian_is_within_default_bounds() {
+        let mut s = Schedule::new("full");
+        s.append(Instruction::Play {
+            waveform: Gaussian {
+                duration: 160,
+                amp: 1.0,
+                sigma: 40.0,
+            }
+            .waveform("g"),
+            channel: Channel::Drive(0),
+        });
+        assert!(verify(&s, &spec2()).is_empty());
+    }
+
+    #[test]
+    fn uncoupled_control_channel_is_flagged() {
+        let mut s = Schedule::new("uncoupled");
+        s.insert(0, play(0.1, 160, Channel::Control(5)));
+        let f = only(&verify(&s, &spec2()), "uncoupled-control");
+        assert_eq!((f.channel, f.start, f.end), (Channel::Control(5), 0, 160));
+    }
+
+    #[test]
+    fn control_pair_with_out_of_range_qubit_is_flagged() {
+        let spec = VerifySpec::new(2, vec![(0, 7)]);
+        let mut s = Schedule::new("bad-pair");
+        s.insert(0, play(0.1, 160, Channel::Control(0)));
+        let f = only(&verify(&s, &spec), "uncoupled-control");
+        assert!(f.message.contains("(0, 7)"), "{}", f.message);
+    }
+
+    #[test]
+    fn orphan_acquire_is_flagged_and_paired_acquire_is_not() {
+        let mut orphan = Schedule::new("orphan");
+        orphan.insert(
+            0,
+            Instruction::Acquire {
+                duration: 480,
+                qubit: 0,
+                channel: Channel::Acquire(0),
+            },
+        );
+        let f = only(&verify(&orphan, &spec2()), "orphan-acquire");
+        assert_eq!((f.channel, f.start, f.end), (Channel::Acquire(0), 0, 480));
+
+        let mut paired = Schedule::new("paired");
+        paired.insert(0, play(0.05, 480, Channel::Measure(0)));
+        paired.insert(
+            0,
+            Instruction::Acquire {
+                duration: 480,
+                qubit: 0,
+                channel: Channel::Acquire(0),
+            },
+        );
+        assert!(verify(&paired, &spec2()).is_empty());
+    }
+
+    #[test]
+    fn drive_after_measure_window_opens_is_flagged() {
+        let mut s = Schedule::new("post-measure");
+        s.insert(0, play(0.1, 160, Channel::Drive(0)));
+        s.insert(160, play(0.05, 480, Channel::Measure(0)));
+        s.insert(
+            160,
+            Instruction::Acquire {
+                duration: 480,
+                qubit: 0,
+                channel: Channel::Acquire(0),
+            },
+        );
+        s.insert(200, play(0.1, 160, Channel::Drive(0)));
+        let f = only(&verify(&s, &spec2()), "post-measure-drive");
+        assert_eq!((f.channel, f.start, f.end), (Channel::Drive(0), 200, 360));
+        // The other qubit is still free to be driven.
+        let mut other = s.clone();
+        other.insert(400, play(0.1, 160, Channel::Drive(1)));
+        assert_eq!(verify(&other, &spec2()).len(), 1);
+    }
+
+    #[test]
+    fn misaligned_start_against_coarse_granularity() {
+        let mut spec = spec2();
+        spec.align_dt = 16;
+        let mut s = Schedule::new("misaligned");
+        s.insert(8, play(0.1, 160, Channel::Drive(0)));
+        let f = only(&verify(&s, &spec), "misaligned-start");
+        assert_eq!((f.start, f.end), (8, 168));
+        // Aligned starts pass under the same spec.
+        let mut ok = Schedule::new("aligned");
+        ok.insert(16, play(0.1, 160, Channel::Drive(0)));
+        assert!(verify(&ok, &spec).is_empty());
+    }
+
+    #[test]
+    fn zero_duration_play_and_delay_are_flagged() {
+        // Negative durations cannot be built at all (u64 sample counts);
+        // the zero case is the entire degenerate class.
+        let mut s = Schedule::new("degenerate");
+        s.insert(0, play(0.1, 0, Channel::Drive(0)));
+        s.insert(
+            64,
+            Instruction::Delay {
+                duration: 0,
+                channel: Channel::Drive(1),
+            },
+        );
+        let findings = verify(&s, &spec2());
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "zero-duration"));
+        assert_eq!((findings[0].start, findings[0].end), (0, 0));
+        assert_eq!((findings[1].start, findings[1].end), (64, 64));
+    }
+
+    #[test]
+    fn unknown_channel_names_the_device_size() {
+        let mut s = Schedule::new("unknown");
+        s.insert(0, play(0.1, 160, Channel::Drive(7)));
+        let f = only(&verify(&s, &spec2()), "unknown-channel");
+        assert_eq!((f.channel, f.start, f.end), (Channel::Drive(7), 0, 160));
+        assert!(f.message.contains("2-qubit"), "{}", f.message);
+    }
+
+    #[test]
+    fn frame_change_on_acquire_channel_is_flagged() {
+        // Regression: Schedule accepts ShiftPhase on an Acquire channel
+        // without complaint; the verifier must catch it.
+        let mut s = Schedule::new("frame-on-acquire");
+        s.insert(
+            0,
+            Instruction::ShiftPhase {
+                phase: 0.5,
+                channel: Channel::Acquire(0),
+            },
+        );
+        let f = only(&verify(&s, &spec2()), "frame-on-acquire");
+        assert_eq!((f.channel, f.start, f.end), (Channel::Acquire(0), 0, 0));
+
+        let mut setf = Schedule::new("setf-on-acquire");
+        setf.insert(
+            0,
+            Instruction::SetFrequency {
+                frequency: 5.0e9,
+                channel: Channel::Acquire(1),
+            },
+        );
+        let mut spec = spec2();
+        spec.freq_band = (4.0e9, 6.0e9);
+        assert_eq!(
+            only(&verify(&setf, &spec), "frame-on-acquire").channel,
+            Channel::Acquire(1)
+        );
+    }
+
+    #[test]
+    fn set_frequency_outside_the_band_is_flagged() {
+        let mut spec = spec2();
+        spec.freq_band = (4.5e9, 5.5e9);
+        let mut s = Schedule::new("detuned");
+        s.insert(
+            0,
+            Instruction::SetFrequency {
+                frequency: 6.1e9,
+                channel: Channel::Drive(0),
+            },
+        );
+        let f = only(&verify(&s, &spec), "freq-out-of-band");
+        assert_eq!((f.start, f.end), (0, 0));
+        // NaN never satisfies the band check either.
+        let mut nan = Schedule::new("nan");
+        nan.insert(
+            0,
+            Instruction::SetFrequency {
+                frequency: f64::NAN,
+                channel: Channel::Drive(0),
+            },
+        );
+        assert_eq!(
+            only(&verify(&nan, &spec), "freq-out-of-band").rule,
+            "freq-out-of-band"
+        );
+    }
+
+    #[test]
+    fn excessive_frequency_shift_is_flagged() {
+        let mut spec = spec2();
+        spec.max_freq_shift = 400.0e6;
+        let mut s = Schedule::new("shifted");
+        s.insert(
+            0,
+            Instruction::ShiftFrequency {
+                delta: -1.2e9,
+                channel: Channel::Drive(1),
+            },
+        );
+        let f = only(&verify(&s, &spec), "freq-shift-excessive");
+        assert_eq!(f.channel, Channel::Drive(1));
+        // A qudit-addressing shift of |alpha| ~ 330 MHz stays legal.
+        let mut ok = Schedule::new("qudit");
+        ok.insert(
+            0,
+            Instruction::ShiftFrequency {
+                delta: -330.0e6,
+                channel: Channel::Drive(1),
+            },
+        );
+        assert!(verify(&ok, &spec).is_empty());
+    }
+
+    #[test]
+    fn findings_are_sorted_by_channel_then_start() {
+        let mut spec = spec2();
+        spec.max_amp = 0.5;
+        let mut s = Schedule::new("multi");
+        s.insert(0, play(0.8, 160, Channel::Drive(1)));
+        s.insert(0, play(0.1, 160, Channel::Control(9)));
+        s.insert(100, play(0.1, 160, Channel::Drive(1)));
+        let findings = verify(&s, &spec);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(
+            rules,
+            vec!["over-amplitude", "overlap", "uncoupled-control"],
+            "{findings:?}"
+        );
+        let a = verify(&s, &spec);
+        let b = verify(&s, &spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn finding_display_names_rule_channel_and_window() {
+        let mut s = Schedule::new("display");
+        s.insert(0, play(0.1, 160, Channel::Drive(7)));
+        let f = only(&verify(&s, &spec2()), "unknown-channel");
+        let text = f.to_string();
+        assert!(
+            text.starts_with("[unknown-channel] d7 @ [0, 160):"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn rule_table_matches_what_the_verifier_can_emit() {
+        assert_eq!(RULES.len(), 11);
+        let mut sorted = RULES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), RULES.len(), "duplicate rule ids");
+    }
+}

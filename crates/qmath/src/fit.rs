@@ -51,7 +51,10 @@ pub struct ExpDecayFit {
 /// `(0, 1)` and polish the winner with a golden-section refinement.
 pub fn fit_exp_decay(ks: &[f64], ys: &[f64]) -> ExpDecayFit {
     assert_eq!(ks.len(), ys.len());
-    assert!(ks.len() >= 3, "need at least 3 points for a 3-parameter fit");
+    assert!(
+        ks.len() >= 3,
+        "need at least 3 points for a 3-parameter fit"
+    );
 
     let eval = |f: f64| -> (f64, f64, f64) {
         // Linear LS for a, b given f.
@@ -138,7 +141,10 @@ pub struct CosineFit {
 /// rest by linear least squares.
 pub fn fit_cosine(xs: &[f64], ys: &[f64], period_range: (f64, f64)) -> CosineFit {
     assert_eq!(xs.len(), ys.len());
-    assert!(xs.len() >= 4, "need at least 4 points for a 4-parameter fit");
+    assert!(
+        xs.len() >= 4,
+        "need at least 4 points for a 4-parameter fit"
+    );
     let (pmin, pmax) = period_range;
     assert!(pmin > 0.0 && pmax > pmin, "invalid period range");
 
@@ -148,8 +154,7 @@ pub fn fit_cosine(xs: &[f64], ys: &[f64], period_range: (f64, f64)) -> CosineFit
             .iter()
             .map(|&x| vec![(w * x).cos(), (w * x).sin(), 1.0])
             .collect();
-        let beta =
-            linear_least_squares(&design, ys).unwrap_or_else(|| vec![0.0, 0.0, 0.0]);
+        let beta = linear_least_squares(&design, ys).unwrap_or_else(|| vec![0.0, 0.0, 0.0]);
         let (c, s, offset) = (beta[0], beta[1], beta[2]);
         let rss: f64 = xs
             .iter()
@@ -223,7 +228,10 @@ mod tests {
     fn exp_decay_recovers_parameters() {
         // Classic RB shape: a = 0.48, f = 0.9982, b = 0.51
         let ks: Vec<f64> = (2..=25).map(|k| k as f64).collect();
-        let ys: Vec<f64> = ks.iter().map(|&k| 0.48 * 0.9982_f64.powf(k) + 0.51).collect();
+        let ys: Vec<f64> = ks
+            .iter()
+            .map(|&k| 0.48 * 0.9982_f64.powf(k) + 0.51)
+            .collect();
         let fit = fit_exp_decay(&ks, &ys);
         assert!((fit.f - 0.9982).abs() < 1e-4, "f = {}", fit.f);
         assert!((fit.a - 0.48).abs() < 1e-2, "a = {}", fit.a);

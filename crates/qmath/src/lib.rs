@@ -31,12 +31,12 @@ mod rng;
 
 pub use complex::C64;
 pub use eig::{eigh, expm, unitary_exp, HermitianEig};
-pub use prop::{mul9_into, unitary_exp9_into, PropagatorScratch};
 pub use fit::{fit_cosine, fit_exp_decay, linear_least_squares, CosineFit, ExpDecayFit};
 pub use mat::CMat;
 pub use optimize::{
-    cobyla_lite, nelder_mead, nelder_mead_multistart, CobylaOptions, Constraint,
-    NelderMeadOptions, OptimizeResult,
+    cobyla_lite, nelder_mead, nelder_mead_multistart, CobylaOptions, Constraint, NelderMeadOptions,
+    OptimizeResult,
 };
 pub use poly::{characteristic_polynomial, durand_kerner, eigenvalues};
+pub use prop::{mul9_into, unitary_exp9_into, PropagatorScratch};
 pub use rng::{categorical, normal, sample_counts, seeded, stream_seed};

@@ -323,6 +323,7 @@ impl CMat {
                     pivot_mag = mag;
                 }
             }
+            // opclint: allow(float-literal-eq): exact singularity test — a literally zero pivot column means det = 0
             if pivot_mag == 0.0 {
                 return C64::ZERO;
             }
@@ -537,10 +538,7 @@ mod tests {
     }
 
     fn pauli_y() -> CMat {
-        CMat::from_rows(&[
-            &[C64::ZERO, C64::imag(-1.0)],
-            &[C64::imag(1.0), C64::ZERO],
-        ])
+        CMat::from_rows(&[&[C64::ZERO, C64::imag(-1.0)], &[C64::imag(1.0), C64::ZERO]])
     }
 
     fn pauli_z() -> CMat {

@@ -286,8 +286,7 @@ mod tests {
 
     #[test]
     fn nelder_mead_rosenbrock_2d() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let opts = NelderMeadOptions {
             max_evals: 20_000,
             ..Default::default()

@@ -95,7 +95,11 @@ mod tests {
     fn roots_of_quadratic() {
         // λ² + 1 → ±i
         let roots = durand_kerner(&[C64::ONE, C64::ZERO]);
-        let mut mags: Vec<f64> = roots.iter().map(|r| (r.re.abs(), r.im)).map(|(re, im)| re + (im.abs() - 1.0).abs()).collect();
+        let mut mags: Vec<f64> = roots
+            .iter()
+            .map(|r| (r.re.abs(), r.im))
+            .map(|(re, im)| re + (im.abs() - 1.0).abs())
+            .collect();
         mags.sort_by(|a, b| a.total_cmp(b));
         for r in &roots {
             assert!(r.re.abs() < 1e-8);
@@ -105,10 +109,7 @@ mod tests {
 
     #[test]
     fn eigenvalues_of_pauli_y() {
-        let y = CMat::from_rows(&[
-            &[C64::ZERO, C64::imag(-1.0)],
-            &[C64::imag(1.0), C64::ZERO],
-        ]);
+        let y = CMat::from_rows(&[&[C64::ZERO, C64::imag(-1.0)], &[C64::imag(1.0), C64::ZERO]]);
         let mut ev: Vec<f64> = eigenvalues(&y).iter().map(|z| z.re).collect();
         ev.sort_by(|a, b| a.total_cmp(b));
         assert!((ev[0] + 1.0).abs() < 1e-8);
@@ -124,7 +125,10 @@ mod tests {
         let u2 = unitary_exp(&x.scale(C64::real(0.5)), 1.9);
         let u = u1.kron(&u2);
         for ev in eigenvalues(&u) {
-            assert!((ev.abs() - 1.0).abs() < 1e-7, "eigenvalue off unit circle: {ev}");
+            assert!(
+                (ev.abs() - 1.0).abs() < 1e-7,
+                "eigenvalue off unit circle: {ev}"
+            );
         }
     }
 

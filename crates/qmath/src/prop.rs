@@ -152,7 +152,8 @@ impl PropagatorScratch {
                 self.sum[(i, i)] += C64::real(c[3 * j]);
             }
             self.sum.add_scaled_assign(&self.a, C64::real(c[3 * j + 1]));
-            self.sum.add_scaled_assign(&self.a2, C64::real(c[3 * j + 2]));
+            self.sum
+                .add_scaled_assign(&self.a2, C64::real(c[3 * j + 2]));
         }
         // Undo the scaling: square `squarings` times.
         for _ in 0..squarings {

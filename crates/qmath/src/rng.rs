@@ -110,8 +110,7 @@ mod tests {
         let n = 50_000;
         let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         assert!((mean - 2.0).abs() < 0.05, "mean = {mean}");
         assert!((var - 9.0).abs() < 0.3, "var = {var}");
     }

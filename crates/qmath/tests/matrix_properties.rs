@@ -4,7 +4,7 @@
 //! test draws a fixed number of random cases from a deterministic RNG and
 //! asserts the same invariants the original property suite checked.
 
-use quant_math::{eigh, seeded, unitary_exp, C64, CMat};
+use quant_math::{eigh, seeded, unitary_exp, CMat, C64};
 use rand::Rng;
 
 const CASES: usize = 64;
@@ -104,10 +104,7 @@ fn unitary_exp_is_unitary_and_composes() {
         let u2 = unitary_exp(&h, t2);
         let u12 = unitary_exp(&h, t1 + t2);
         assert!(u1.is_unitary(1e-8));
-        assert!(
-            (&u1 * &u2).max_abs_diff(&u12) < 1e-7,
-            "exp(-iHt) group law"
-        );
+        assert!((&u1 * &u2).max_abs_diff(&u12) < 1e-7, "exp(-iHt) group law");
     }
 }
 

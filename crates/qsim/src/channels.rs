@@ -6,7 +6,7 @@
 //! error (source 2), and a leakage channel whose strength grows with pulse
 //! amplitude (source 3).
 
-use quant_math::{C64, CMat};
+use quant_math::{CMat, C64};
 
 /// Amplitude damping with decay probability `gamma`: |1⟩ relaxes to |0⟩.
 pub fn amplitude_damping(gamma: f64) -> Vec<CMat> {
@@ -214,8 +214,8 @@ mod tests {
 
     #[test]
     fn composed_thermal_relaxation_matches_stages() {
-        use crate::DensityMatrix;
         use crate::gates;
+        use crate::DensityMatrix;
         let (t, t1, t2) = (37.0, 94_000.0, 71_000.0);
         let composed = thermal_relaxation_kraus(t, t1, t2);
         assert!(is_trace_preserving(&composed, 1e-10));

@@ -10,7 +10,7 @@
 
 use crate::kernels::KernelScratch;
 use crate::state::StateVector;
-use quant_math::{C64, CMat};
+use quant_math::{CMat, C64};
 use rand::Rng;
 
 /// Debug-build check of the Kraus completeness relation `Σ Kₖ†Kₖ = I`.
@@ -46,7 +46,10 @@ pub struct DensityMatrix {
 /// need the full matrix (commutation probes, small algebraic checks).
 pub fn embed(op: &CMat, targets: &[usize], dims: &[usize]) -> CMat {
     let gate_dim: usize = targets.iter().map(|&t| dims[t]).product();
-    assert!(op.is_square() && op.rows() == gate_dim, "operator dim mismatch");
+    assert!(
+        op.is_square() && op.rows() == gate_dim,
+        "operator dim mismatch"
+    );
     for (i, &t) in targets.iter().enumerate() {
         assert!(t < dims.len(), "target {t} out of range");
         assert!(!targets[..i].contains(&t), "duplicate target {t}");
@@ -164,7 +167,10 @@ impl DensityMatrix {
         targets: &[usize],
         scratch: &mut KernelScratch,
     ) {
-        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        assert!(
+            !kraus.is_empty(),
+            "channel needs at least one Kraus operator"
+        );
         debug_assert_kraus_complete(kraus);
         scratch.apply_kraus(&mut self.rho, kraus, targets, &self.dims);
     }
@@ -172,7 +178,10 @@ impl DensityMatrix {
     /// Reference implementation of [`DensityMatrix::apply_kraus`] via
     /// [`embed`] and dense products. Kept for kernel cross-checks.
     pub fn apply_kraus_ref(&mut self, kraus: &[CMat], targets: &[usize]) {
-        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        assert!(
+            !kraus.is_empty(),
+            "channel needs at least one Kraus operator"
+        );
         debug_assert_kraus_complete(kraus);
         let mut out = CMat::zeros(self.rho.rows(), self.rho.cols());
         for k in kraus {
@@ -184,7 +193,9 @@ impl DensityMatrix {
 
     /// Populations of the computational basis (the diagonal of ρ).
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.rho.rows()).map(|i| self.rho[(i, i)].re.max(0.0)).collect()
+        (0..self.rho.rows())
+            .map(|i| self.rho[(i, i)].re.max(0.0))
+            .collect()
     }
 
     /// `Tr(ρ²)` — 1 for pure states, 1/d for the maximally mixed state.
@@ -301,9 +312,7 @@ mod tests {
     fn embed_identity_elsewhere() {
         let full = embed(&gates::x(), &[1], &[2, 2, 2]);
         // X on qubit 1 = I ⊗ X ⊗ I in kron (MSB-first) ordering.
-        let expect = CMat::identity(2)
-            .kron(&gates::x())
-            .kron(&CMat::identity(2));
+        let expect = CMat::identity(2).kron(&gates::x()).kron(&CMat::identity(2));
         assert!(full.max_abs_diff(&expect) < 1e-12);
     }
 

@@ -164,7 +164,10 @@ impl FusionPlan {
         for (i, op) in ops.iter().enumerate() {
             for (j, &s) in op.support.iter().enumerate() {
                 assert!(s < dims.len(), "op {i}: subsystem {s} out of range");
-                assert!(!op.support[..j].contains(&s), "op {i}: duplicate subsystem {s}");
+                assert!(
+                    !op.support[..j].contains(&s),
+                    "op {i}: duplicate subsystem {s}"
+                );
             }
             if !op.unitary {
                 assert_eq!(op.support.len(), 1, "local op {i} must be single-subsystem");
@@ -174,7 +177,11 @@ impl FusionPlan {
                     None => open_block(&mut blocks, &mut steps, &mut open, vec![q], dims[q]),
                 };
                 let local = locals(&blocks[b].targets, &[q]);
-                steps.push(Step::Fold { op: i, block: b, local });
+                steps.push(Step::Fold {
+                    op: i,
+                    block: b,
+                    local,
+                });
                 continue;
             }
 
@@ -187,10 +194,22 @@ impl FusionPlan {
 
             if overlapping.is_empty() {
                 let b = if op_weight <= max_weight {
-                    open_block(&mut blocks, &mut steps, &mut open, op.support.clone(), op_weight)
+                    open_block(
+                        &mut blocks,
+                        &mut steps,
+                        &mut open,
+                        op.support.clone(),
+                        op_weight,
+                    )
                 } else {
                     // Oversized op: apply standalone, immediately.
-                    let b = open_block(&mut blocks, &mut steps, &mut open, op.support.clone(), op_weight);
+                    let b = open_block(
+                        &mut blocks,
+                        &mut steps,
+                        &mut open,
+                        op.support.clone(),
+                        op_weight,
+                    );
                     steps.push(Step::Fold {
                         op: i,
                         block: b,
@@ -200,7 +219,11 @@ impl FusionPlan {
                     continue;
                 };
                 let local = locals(&blocks[b].targets, &op.support);
-                steps.push(Step::Fold { op: i, block: b, local });
+                steps.push(Step::Fold {
+                    op: i,
+                    block: b,
+                    local,
+                });
                 continue;
             }
 
@@ -242,9 +265,19 @@ impl FusionPlan {
             for &b in &overlapping {
                 close_block(&mut blocks, &mut steps, &mut open, b);
             }
-            let b = open_block(&mut blocks, &mut steps, &mut open, op.support.clone(), op_weight);
+            let b = open_block(
+                &mut blocks,
+                &mut steps,
+                &mut open,
+                op.support.clone(),
+                op_weight,
+            );
             let local = locals(&blocks[b].targets, &op.support);
-            steps.push(Step::Fold { op: i, block: b, local });
+            steps.push(Step::Fold {
+                op: i,
+                block: b,
+                local,
+            });
         }
 
         for b in open.clone() {
@@ -308,7 +341,11 @@ impl FusionPlan {
 
     /// The subsystem dimensions of one block, in target order.
     pub fn block_dims(&self, block: usize, dims: &[usize]) -> Vec<usize> {
-        self.blocks[block].targets.iter().map(|&t| dims[t]).collect()
+        self.blocks[block]
+            .targets
+            .iter()
+            .map(|&t| dims[t])
+            .collect()
     }
 
     /// Block ids in the order they close — the order an executor applies
@@ -333,7 +370,11 @@ fn locals(targets: &[usize], support: &[usize]) -> Vec<usize> {
         .iter()
         .filter_map(|&q| targets.iter().position(|&t| t == q))
         .collect();
-    debug_assert_eq!(locals.len(), support.len(), "support must lie inside the block");
+    debug_assert_eq!(
+        locals.len(),
+        support.len(),
+        "support must lie inside the block"
+    );
     locals
 }
 
@@ -514,10 +555,14 @@ mod tests {
         assert_eq!(plan.blocks[0].targets, vec![0, 1]);
         assert_eq!(fold_count(&plan, 0), 3);
         assert_eq!(fold_count(&plan, 1), 1);
-        assert!(plan
-            .steps
-            .iter()
-            .any(|s| matches!(s, Step::Merge { from: 1, into: 0, .. })));
+        assert!(plan.steps.iter().any(|s| matches!(
+            s,
+            Step::Merge {
+                from: 1,
+                into: 0,
+                ..
+            }
+        )));
         assert_eq!(plan.close_order(), vec![0]);
     }
 
@@ -534,10 +579,16 @@ mod tests {
         // that the (1,2) gate then merges in.
         assert_eq!(plan.blocks.len(), 2);
         assert_eq!(plan.blocks[0].targets, vec![0, 1, 2]);
-        let merged = plan
-            .steps
-            .iter()
-            .any(|s| matches!(s, Step::Merge { from: 1, into: 0, .. }));
+        let merged = plan.steps.iter().any(|s| {
+            matches!(
+                s,
+                Step::Merge {
+                    from: 1,
+                    into: 0,
+                    ..
+                }
+            )
+        });
         assert!(merged, "plan: {plan:?}");
     }
 

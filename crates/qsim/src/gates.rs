@@ -4,7 +4,7 @@
 //! OpenQASM specification, and two-qubit matrices are ordered with the
 //! *first* listed qubit as the least-significant index digit.
 
-use quant_math::{C64, CMat};
+use quant_math::{CMat, C64};
 
 /// 2×2 identity.
 pub fn id2() -> CMat {
@@ -310,9 +310,9 @@ mod tests {
         // ZZ(θ) = CNOT·(I⊗Rz(θ))·CNOT with control = qubit 0.
         let theta = 0.93;
         let rz_on_q1 = rz(theta).kron(&id2()); // digit 1 = second factor... see below
-        // Careful: kron(A, B) indexes as A-digit most significant. Our gate
-        // convention stores qubit 0 as least significant, so a gate on qubit 1
-        // embeds as G ⊗ I (G on the most-significant digit).
+                                               // Careful: kron(A, B) indexes as A-digit most significant. Our gate
+                                               // convention stores qubit 0 as least significant, so a gate on qubit 1
+                                               // embeds as G ⊗ I (G on the most-significant digit).
         let circuit = &(&cnot() * &rz_on_q1) * &cnot();
         assert!(circuit.phase_invariant_diff(&zz(theta)) < 1e-12);
     }
@@ -356,6 +356,9 @@ mod tests {
     #[test]
     fn bswap_exchanges_even_parity() {
         let v = bswap().mul_vec(&[C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO]);
-        assert!(v[3].abs() > 0.999, "bSWAP should map |00⟩ → |11⟩ (up to phase)");
+        assert!(
+            v[3].abs() > 0.999,
+            "bSWAP should map |00⟩ → |11⟩ (up to phase)"
+        );
     }
 }

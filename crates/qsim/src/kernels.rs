@@ -18,7 +18,7 @@
 //! cross-checked against it property-test-style in
 //! `tests/kernel_equivalence.rs`.
 
-use quant_math::{C64, CMat};
+use quant_math::{CMat, C64};
 
 /// Precomputed index tables for one `(targets, dims)` pair.
 ///
@@ -189,7 +189,13 @@ impl KernelScratch {
     }
 
     /// `ρ ← Û·ρ·Û†` — the unitary-conjugation kernel, O(d²·k).
-    pub fn apply_conjugate(&mut self, rho: &mut CMat, op: &CMat, targets: &[usize], dims: &[usize]) {
+    pub fn apply_conjugate(
+        &mut self,
+        rho: &mut CMat,
+        op: &CMat,
+        targets: &[usize],
+        dims: &[usize],
+    ) {
         let i = self.ensure_index(targets, dims);
         let idx = &self.indices[i].index;
         check_op(op, idx);
@@ -211,7 +217,10 @@ impl KernelScratch {
         targets: &[usize],
         dims: &[usize],
     ) {
-        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        assert!(
+            !kraus.is_empty(),
+            "channel needs at least one Kraus operator"
+        );
         let i = self.ensure_index(targets, dims);
         let idx = &self.indices[i].index;
         for op in kraus {
@@ -293,13 +302,7 @@ impl KernelScratch {
     /// # Panics
     ///
     /// Panics on target/dimension mismatches.
-    pub fn apply_state(
-        &mut self,
-        amps: &mut [C64],
-        op: &CMat,
-        targets: &[usize],
-        dims: &[usize],
-    ) {
+    pub fn apply_state(&mut self, amps: &mut [C64], op: &CMat, targets: &[usize], dims: &[usize]) {
         let i = self.ensure_index(targets, dims);
         let idx = &self.indices[i].index;
         check_op(op, idx);
@@ -431,13 +434,7 @@ impl KernelScratch {
     }
 
     /// `Tr(ρ·Ô)` where `Ô` is `op` embedded on `targets` — O(d·k).
-    pub fn expectation(
-        &mut self,
-        rho: &CMat,
-        op: &CMat,
-        targets: &[usize],
-        dims: &[usize],
-    ) -> C64 {
+    pub fn expectation(&mut self, rho: &CMat, op: &CMat, targets: &[usize], dims: &[usize]) -> C64 {
         let i = self.ensure_index(targets, dims);
         let idx = &self.indices[i].index;
         check_op(op, idx);

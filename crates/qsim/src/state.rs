@@ -12,7 +12,7 @@
 //! matrices in [`crate::gates`].
 
 use crate::kernels::KernelScratch;
-use quant_math::{C64, CMat};
+use quant_math::{CMat, C64};
 use rand::Rng;
 
 /// A normalized pure state of a mixed-dimension qudit register.
@@ -125,13 +125,13 @@ impl StateVector {
     /// kernel cross-checks (`tests/kernel_equivalence.rs`).
     pub fn apply_unitary_ref(&mut self, u: &CMat, targets: &[usize]) {
         let gate_dim: usize = targets.iter().map(|&t| self.dims[t]).product();
-        assert!(u.is_square() && u.rows() == gate_dim, "gate dimension mismatch");
+        assert!(
+            u.is_square() && u.rows() == gate_dim,
+            "gate dimension mismatch"
+        );
         for (i, &t) in targets.iter().enumerate() {
             assert!(t < self.dims.len(), "target {t} out of range");
-            assert!(
-                !targets[..i].contains(&t),
-                "duplicate target subsystem {t}"
-            );
+            assert!(!targets[..i].contains(&t), "duplicate target subsystem {t}");
         }
 
         let strides: Vec<usize> = targets.iter().map(|&t| self.stride(t)).collect();
@@ -199,7 +199,9 @@ impl StateVector {
         targets: &[usize],
         scratch: &mut KernelScratch,
     ) -> f64 {
-        scratch.expectation_state(&self.amps, op, targets, &self.dims).re
+        scratch
+            .expectation_state(&self.amps, op, targets, &self.dims)
+            .re
     }
 
     /// Reference implementation of [`StateVector::expectation`]: clone,

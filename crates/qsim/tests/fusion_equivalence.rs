@@ -4,7 +4,7 @@
 //! on the mixed qubit/qutrit register `[2, 3, 2]` — and the fused block
 //! matrices must equal the ordered product of the embedded ops.
 
-use quant_math::{normal, seeded, unitary_exp, C64, CMat};
+use quant_math::{normal, seeded, unitary_exp, CMat, C64};
 use quant_sim::fusion::{FusionPlan, OpDesc, Step, MAX_FUSED_WEIGHT};
 use quant_sim::{embed, KernelScratch, StateVector};
 use rand::{rngs::StdRng, Rng};

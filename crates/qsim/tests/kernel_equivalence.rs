@@ -4,7 +4,7 @@
 //! `[2, 3, 2]` (and qubit-only registers), across every interesting target
 //! tuple including reversed orderings.
 
-use quant_math::{eigh, normal, seeded, unitary_exp, C64, CMat};
+use quant_math::{eigh, normal, seeded, unitary_exp, CMat, C64};
 use quant_sim::{DensityMatrix, KernelScratch};
 use rand::rngs::StdRng;
 
@@ -33,7 +33,9 @@ fn gate_dim(targets: &[usize]) -> usize {
 }
 
 fn random_matrix(rng: &mut StdRng, n: usize) -> CMat {
-    CMat::from_fn(n, n, |_, _| C64::new(normal(rng, 0.0, 1.0), normal(rng, 0.0, 1.0)))
+    CMat::from_fn(n, n, |_, _| {
+        C64::new(normal(rng, 0.0, 1.0), normal(rng, 0.0, 1.0))
+    })
 }
 
 fn random_hermitian(rng: &mut StdRng, n: usize) -> CMat {

@@ -4,7 +4,7 @@
 //! test draws random gate programs from a deterministic RNG and asserts
 //! the same invariants the original property suite checked.
 
-use quant_math::{seeded, C64, CMat};
+use quant_math::{seeded, CMat, C64};
 use quant_sim::{channels, gates, DensityMatrix, StateVector};
 use rand::Rng;
 

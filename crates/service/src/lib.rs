@@ -62,7 +62,5 @@ mod service;
 mod spec;
 pub mod wire;
 
-pub use service::{
-    CompileService, JobOutput, ServiceConfig, ServiceError, StatsSnapshot, Ticket,
-};
+pub use service::{CompileService, JobOutput, ServiceConfig, ServiceError, StatsSnapshot, Ticket};
 pub use spec::{job_key, CircuitSource, DeviceKind, DeviceSpec, JobSpec, SERVICE_ALGO_VERSION};

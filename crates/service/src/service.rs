@@ -10,6 +10,7 @@ use quant_device::{
     ShotPool,
 };
 use quant_math::{seeded, stream_seed};
+use quant_pulse::ScheduleFinding;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,6 +40,9 @@ pub enum ServiceError {
     InvalidRequest(String),
     /// Lowering failed (e.g. a two-qubit gate on an uncoupled pair).
     Compile(String),
+    /// The compiled schedule failed static verification; the job is
+    /// rejected before any simulation work is spent on it.
+    Verify(Vec<ScheduleFinding>),
     /// Pulse execution failed.
     Exec(ExecError),
     /// The service is shutting down; queued work was abandoned.
@@ -56,6 +60,17 @@ impl fmt::Display for ServiceError {
             ServiceError::Parse(e) => write!(f, "parse error: {e}"),
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::Compile(msg) => write!(f, "compile error: {msg}"),
+            ServiceError::Verify(findings) => {
+                write!(
+                    f,
+                    "schedule verification failed ({} finding(s)",
+                    findings.len()
+                )?;
+                match findings.first() {
+                    Some(first) => write!(f, "; first: {first})"),
+                    None => write!(f, ")"),
+                }
+            }
             ServiceError::Exec(e) => write!(f, "execution error: {e}"),
             ServiceError::ShutDown => write!(f, "service shut down"),
             ServiceError::Spawn(msg) => write!(f, "worker spawn failed: {msg}"),
@@ -177,11 +192,7 @@ impl Ticket {
             if let Some(result) = done.as_ref() {
                 return result.clone();
             }
-            done = self
-                .slot
-                .cv
-                .wait(done)
-                .unwrap_or_else(|e| e.into_inner());
+            done = self.slot.cv.wait(done).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -508,9 +519,7 @@ impl CompileService {
         };
         let n = circuit.num_qubits();
         if n == 0 {
-            return Err(ServiceError::InvalidRequest(
-                "circuit has no qubits".into(),
-            ));
+            return Err(ServiceError::InvalidRequest("circuit has no qubits".into()));
         }
         if n > cfg.max_qubits {
             return Err(ServiceError::InvalidRequest(format!(
@@ -700,7 +709,17 @@ fn execute(
     inner.compiles.fetch_add(1, Ordering::Relaxed);
     let compiled = Compiler::new(&data.device, &data.calibration, job.mode)
         .compile(&job.circuit)
-        .map_err(|e| ServiceError::Compile(e.to_string()))?;
+        .map_err(|e| match e {
+            pulse_compiler::LowerError::InvalidSchedule(findings) => ServiceError::Verify(findings),
+            other => ServiceError::Compile(other.to_string()),
+        })?;
+    // Belt and braces: re-verify the compiled schedule here so the
+    // service boundary rejects invalid work even when the in-compiler
+    // pass is disabled via `OPC_VERIFY=0` in this process.
+    let findings = quant_pulse::verify(&compiled.program.schedule, &data.device.verify_spec());
+    if !findings.is_empty() {
+        return Err(ServiceError::Verify(findings));
+    }
     let executor = if job.noisy {
         PulseExecutor::new(&data.device)
     } else {

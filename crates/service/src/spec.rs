@@ -176,12 +176,9 @@ fn fnv1a_bytes(mut h: u64, bytes: &[u8]) -> u64 {
 /// almost-equal angles).
 fn gate_params(gate: &Gate) -> [u64; 3] {
     match *gate {
-        Gate::Rx(a)
-        | Gate::Ry(a)
-        | Gate::Rz(a)
-        | Gate::DirectRx(a)
-        | Gate::Cr(a)
-        | Gate::Zz(a) => [a.to_bits(), 0, 0],
+        Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::DirectRx(a) | Gate::Cr(a) | Gate::Zz(a) => {
+            [a.to_bits(), 0, 0]
+        }
         Gate::FSim(a, b) => [a.to_bits(), b.to_bits(), 0],
         Gate::U3(a, b, c) => [a.to_bits(), b.to_bits(), c.to_bits()],
         _ => [0, 0, 0],
@@ -250,14 +247,32 @@ mod tests {
         let d = DeviceSpec::new(DeviceKind::Almaden, 2, 7);
         let base = job_key(&d, &bell(), CompileMode::Optimized, 4000, 7, true);
         let d2 = DeviceSpec::new(DeviceKind::Almaden, 2, 8);
-        assert_ne!(base, job_key(&d2, &bell(), CompileMode::Optimized, 4000, 7, true));
-        assert_ne!(base, job_key(&d, &bell(), CompileMode::Standard, 4000, 7, true));
-        assert_ne!(base, job_key(&d, &bell(), CompileMode::Optimized, 4001, 7, true));
-        assert_ne!(base, job_key(&d, &bell(), CompileMode::Optimized, 4000, 8, true));
-        assert_ne!(base, job_key(&d, &bell(), CompileMode::Optimized, 4000, 7, false));
+        assert_ne!(
+            base,
+            job_key(&d2, &bell(), CompileMode::Optimized, 4000, 7, true)
+        );
+        assert_ne!(
+            base,
+            job_key(&d, &bell(), CompileMode::Standard, 4000, 7, true)
+        );
+        assert_ne!(
+            base,
+            job_key(&d, &bell(), CompileMode::Optimized, 4001, 7, true)
+        );
+        assert_ne!(
+            base,
+            job_key(&d, &bell(), CompileMode::Optimized, 4000, 8, true)
+        );
+        assert_ne!(
+            base,
+            job_key(&d, &bell(), CompileMode::Optimized, 4000, 7, false)
+        );
         let mut other = bell();
         other.x(1);
-        assert_ne!(base, job_key(&d, &other, CompileMode::Optimized, 4000, 7, true));
+        assert_ne!(
+            base,
+            job_key(&d, &other, CompileMode::Optimized, 4000, 7, true)
+        );
     }
 
     #[test]

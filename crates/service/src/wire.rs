@@ -190,6 +190,7 @@ fn error_kind(e: &ServiceError) -> &'static str {
         ServiceError::Parse(_) => "parse",
         ServiceError::InvalidRequest(_) => "invalid",
         ServiceError::Compile(_) => "compile",
+        ServiceError::Verify(_) => "verify",
         ServiceError::Exec(_) => "exec",
         ServiceError::ShutDown => "shutdown",
         ServiceError::Spawn(_) => "spawn",

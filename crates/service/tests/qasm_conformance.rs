@@ -41,7 +41,10 @@ fn service() -> CompileService {
 fn job_for(source: &str) -> JobSpec {
     // 10 qubits covers every fixture width and stays at the service's
     // default `max_qubits` ceiling.
-    JobSpec::qasm(DeviceSpec::new(DeviceKind::Almaden, 10, 42), source.to_string())
+    JobSpec::qasm(
+        DeviceSpec::new(DeviceKind::Almaden, 10, 42),
+        source.to_string(),
+    )
 }
 
 #[test]
@@ -49,8 +52,7 @@ fn service_rejects_exactly_what_the_parser_rejects() {
     let svc = service();
     for path in fixtures("bad") {
         let text = std::fs::read_to_string(&path).expect("read fixture");
-        let parser_err = qasm::parse(&text)
-            .expect_err("bad fixture must fail direct parse");
+        let parser_err = qasm::parse(&text).expect_err("bad fixture must fail direct parse");
         match svc.submit(job_for(&text)) {
             Err(ServiceError::Parse(service_err)) => assert_eq!(
                 service_err,

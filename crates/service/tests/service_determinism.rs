@@ -72,11 +72,7 @@ fn results_bit_identical_at_any_worker_count() {
         assert_eq!(a.0, b.0, "job {i}: key");
         assert_eq!(a.1, b.1, "job {i}: counts");
         assert_eq!(a.2, b.2, "job {i}: duration");
-        assert_eq!(
-            a.3.to_bits(),
-            b.3.to_bits(),
-            "job {i}: fidelity bits"
-        );
+        assert_eq!(a.3.to_bits(), b.3.to_bits(), "job {i}: fidelity bits");
     }
 }
 
@@ -113,7 +109,10 @@ fn identical_jobs_compile_once() {
     assert!(memo_ticket.deduped());
     assert_eq!(svc.stats().dedup_hits, 8);
     assert_eq!(svc.stats().compiles, 1);
-    assert_eq!(memo_ticket.wait().expect("memo result").counts, outputs[0].counts);
+    assert_eq!(
+        memo_ticket.wait().expect("memo result").counts,
+        outputs[0].counts
+    );
 }
 
 #[test]

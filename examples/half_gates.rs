@@ -8,9 +8,7 @@
 //! cargo run --release --example half_gates
 //! ```
 
-use openpulse_repro::compiler::decompose::{
-    synthesize_with_uses, DecomposeOptions, NativeGate,
-};
+use openpulse_repro::compiler::decompose::{synthesize_with_uses, DecomposeOptions, NativeGate};
 use openpulse_repro::device::tunable::{calibrate_xy, XyPair, XyParams};
 use openpulse_repro::device::{TransmonParams, DT};
 use openpulse_repro::pulse::Channel;

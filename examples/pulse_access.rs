@@ -39,7 +39,10 @@ fn main() {
 
     // 3. Make new gates by scaling the amplitude (§4.2's DirectRx).
     let transmon = device.transmon_cal(0);
-    println!("\n{:>8} {:>12} {:>14}", "θ (deg)", "duration", "angle achieved");
+    println!(
+        "\n{:>8} {:>12} {:>14}",
+        "θ (deg)", "duration", "angle achieved"
+    );
     for target_deg in [30.0_f64, 45.0, 60.0, 90.0, 120.0, 150.0] {
         let scale = target_deg / 180.0;
         let scaled = rx180.scaled(scale);

@@ -7,8 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use openpulse_repro::compiler::{CompileMode, Compiler};
 use openpulse_repro::circuit::Circuit;
+use openpulse_repro::compiler::{CompileMode, Compiler};
 use openpulse_repro::device::{calibrate, DeviceModel, PulseExecutor};
 use openpulse_repro::math::seeded;
 
@@ -53,8 +53,6 @@ fn main() {
         let out = exec.run(&compiled.program, &mut rng);
         let counts = out.sample_counts(&mut rng, 4000);
         println!("measured counts over 4000 shots: {counts:?}");
-        println!(
-            "(ideal Bell pair: ~2000 each on |00⟩ and |11⟩, ~0 elsewhere)\n"
-        );
+        println!("(ideal Bell pair: ~2000 each on |00⟩ and |11⟩, ~0 elsewhere)\n");
     }
 }

@@ -46,7 +46,10 @@ fn main() {
 
     // Count!
     let exec = PulseExecutor::new(&device);
-    println!("{:>7} {:>7} {:>8} {:>8} {:>8}", "cycles", "hops", "P(|0⟩)", "P(|1⟩)", "P(|2⟩)");
+    println!(
+        "{:>7} {:>7} {:>8} {:>8} {:>8}",
+        "cycles", "hops", "P(|0⟩)", "P(|1⟩)", "P(|2⟩)"
+    );
     for cycles in [1usize, 3, 10, 30, 60] {
         let schedule = counter_schedule(&pulses, cycles);
         let out = exec.run_qutrit(&schedule, &mut rng);

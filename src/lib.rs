@@ -9,10 +9,10 @@
 //! ```
 
 pub use pulse_compiler as compiler;
-pub use quant_corpus as corpus;
 pub use quant_algos as algorithms;
 pub use quant_char as characterization;
 pub use quant_circuit as circuit;
+pub use quant_corpus as corpus;
 pub use quant_device as device;
 pub use quant_math as math;
 pub use quant_pulse as pulse;

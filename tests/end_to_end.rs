@@ -53,10 +53,7 @@ fn both_flows_match_ideal_on_benchmark_circuits() {
         for mode in [CompileMode::Standard, CompileMode::Optimized] {
             let got = pulse_distribution(&device, &cal, &circuit, mode);
             let h = hellinger_distance(&ideal, &got);
-            assert!(
-                h < 0.12,
-                "{name} / {mode:?}: Hellinger {h:.4} vs ideal"
-            );
+            assert!(h < 0.12, "{name} / {mode:?}: Hellinger {h:.4} vs ideal");
         }
     }
 }

@@ -7,7 +7,7 @@
 use openpulse_repro::characterization::hellinger_distance;
 use openpulse_repro::circuit::{Circuit, Gate};
 use openpulse_repro::compiler::{optimize, to_basis, weyl_coordinates, BasisKind};
-use openpulse_repro::math::{eigh, seeded, C64, CMat};
+use openpulse_repro::math::{eigh, seeded, CMat, C64};
 use openpulse_repro::sim::{channels, euler_zxz, gates, StateVector};
 use rand::Rng;
 
